@@ -1,0 +1,46 @@
+"""E10 — the RPQ simple-path hardness context ([3, 26], §3).
+
+Regenerates the easy/hard separation that motivates Prop 3.2: under
+simple-path semantics, some regular expressions stay tractable on the
+tested families while others blow up combinatorially — the runtime shape
+to observe is standard-semantics evaluation flat in graph size, with
+simple-path evaluation diverging on the bridge-rich two-lane family.
+"""
+
+import pytest
+
+from repro.graphdb.generators import grid, two_lane_road, uniform_random
+from repro.regular.parser import parse_regex
+from repro.semantics.rpq import simple_path_pairs, standard_pairs
+
+EASY = parse_regex("a*")          # tractable class
+HARD = parse_regex("(aa)*")       # even-length: the classic NP-hard case
+
+
+@pytest.mark.parametrize("size", [4, 6, 8], ids=lambda n: f"n={n}")
+def test_bench_standard_easy(benchmark, size):
+    graph = uniform_random(size, 2 * size, {"a"}, seed=1)
+    benchmark(standard_pairs, graph, EASY)
+
+
+@pytest.mark.parametrize("size", [4, 6, 8], ids=lambda n: f"n={n}")
+def test_bench_simple_path_easy(benchmark, size):
+    graph = uniform_random(size, 2 * size, {"a"}, seed=1)
+    benchmark(simple_path_pairs, graph, EASY)
+
+
+@pytest.mark.parametrize("size", [4, 6, 8], ids=lambda n: f"n={n}")
+def test_bench_simple_path_hard(benchmark, size):
+    graph = uniform_random(size, 2 * size, {"a"}, seed=1)
+    benchmark(simple_path_pairs, graph, HARD)
+
+
+@pytest.mark.parametrize("width", [2, 3], ids=lambda n: f"w={n}")
+def test_bench_grid_simple_path(benchmark, width):
+    graph = grid(width, width, right_label="a", down_label="a")
+    benchmark(simple_path_pairs, graph, HARD)
+
+
+def test_bench_two_lane_blowup(benchmark):
+    graph = two_lane_road(3, labels=("a", "a"), bridge_label="a")
+    benchmark(simple_path_pairs, graph, HARD)

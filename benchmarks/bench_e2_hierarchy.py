@@ -1,0 +1,32 @@
+"""E2 — Remark 2.1: the semantics hierarchy on random inputs, timed.
+
+Regenerates the containment chain q-inj ⊆ a-inj ⊆ st on seeded random
+query/graph pairs, benchmarking the full three-way census.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.workloads import random_query, random_word_graph
+from repro.queries.crpq import QueryClass
+from repro.semantics.base import ALL_SEMANTICS, Semantics
+from repro.semantics.evaluation import evaluate
+
+
+def _census(query, graph):
+    results = {s: evaluate(query, graph, s) for s in ALL_SEMANTICS}
+    assert results[Semantics.QUERY_INJECTIVE] <= results[Semantics.ATOM_INJECTIVE]
+    assert results[Semantics.ATOM_INJECTIVE] <= results[Semantics.STANDARD]
+    return results
+
+
+@pytest.mark.parametrize("num_nodes", [4, 6, 8], ids=lambda n: f"nodes={n}")
+def test_bench_hierarchy(benchmark, num_nodes):
+    rng = random.Random(2023)
+    query = random_query(rng, QueryClass.CRPQ, num_variables=2,
+                         num_atoms=2, arity=1)
+    graph = random_word_graph(rng, {"a", "b"}, num_nodes=num_nodes,
+                              num_edges=2 * num_nodes)
+    results = benchmark(_census, query, graph)
+    assert len(results) == 3

@@ -1,0 +1,39 @@
+"""E3 — Prop 3.1/3.2: evaluation complexity in data size, per semantics.
+
+Regenerates the evaluation row of the paper's complexity picture as a
+scaling experiment: standard semantics (NL data complexity) scales
+smoothly with graph size, while the injective semantics (NP-complete in
+data complexity) are exercised on the two-lane-road family, whose number
+of simple paths grows with length.  The *shape* to observe: standard
+evaluation stays flat-ish, injective evaluation grows much faster.
+"""
+
+import pytest
+
+from repro.graphdb.generators import two_lane_road, uniform_random
+from repro.queries.parser import parse_query
+from repro.semantics.evaluation import evaluate
+
+ROAD_QUERY = parse_query("Q() :- x -[a(a+b+x)*a]-> y")
+
+
+@pytest.mark.parametrize("length", [2, 3, 4], ids=lambda n: f"len={n}")
+@pytest.mark.parametrize("semantics", ["st", "a-inj"], ids=str)
+def test_bench_road_eval(benchmark, length, semantics):
+    graph = two_lane_road(length)
+    answers = benchmark(evaluate, ROAD_QUERY, graph, semantics)
+    assert answers == {()}
+
+
+@pytest.mark.parametrize("num_nodes", [6, 10, 14], ids=lambda n: f"n={n}")
+def test_bench_standard_data_scaling(benchmark, num_nodes):
+    graph = uniform_random(num_nodes, 3 * num_nodes, {"a", "b"}, seed=5)
+    query = parse_query("Q(x, y) :- x -[(ab)^+]-> y")
+    benchmark(evaluate, query, graph, "st")
+
+
+@pytest.mark.parametrize("num_nodes", [6, 10, 14], ids=lambda n: f"n={n}")
+def test_bench_qinj_data_scaling(benchmark, num_nodes):
+    graph = uniform_random(num_nodes, 3 * num_nodes, {"a", "b"}, seed=5)
+    query = parse_query("Q(x, y) :- x -[(ab)^+]-> y")
+    benchmark(evaluate, query, graph, "q-inj")

@@ -1,0 +1,34 @@
+"""E4 — Example 4.7: the containment incomparabilities, timed.
+
+Regenerates the four (non-)containment facts of Example 4.7 and
+benchmarks each decision."""
+
+import pytest
+
+from repro.containment.api import contains
+from repro.containment.result import Verdict
+from repro.queries.parser import parse_query
+
+Q1 = parse_query("Q() :- x -a-> y, y -b-> z")
+Q2 = parse_query("Q() :- x -[ab]-> y")
+Q1P = parse_query("Q() :- x -a-> y, x -b-> y")
+Q2P = parse_query("Q() :- x -a-> y, u -b-> v")
+
+CASES = [
+    ("Q1⊆Q2", Q1, Q2, "q-inj", Verdict.CONTAINED),
+    ("Q1⊆Q2", Q1, Q2, "st", Verdict.CONTAINED),
+    ("Q1⊆Q2", Q1, Q2, "a-inj", Verdict.NOT_CONTAINED),
+    ("Q1'⊆Q2'", Q1P, Q2P, "a-inj", Verdict.CONTAINED),
+    ("Q1'⊆Q2'", Q1P, Q2P, "st", Verdict.CONTAINED),
+    ("Q1'⊆Q2'", Q1P, Q2P, "q-inj", Verdict.NOT_CONTAINED),
+]
+
+
+@pytest.mark.parametrize(
+    "name,left,right,semantics,expected",
+    CASES,
+    ids=[f"{n}-{s}" for n, _l, _r, s, _e in CASES],
+)
+def test_bench_example_4_7(benchmark, name, left, right, semantics, expected):
+    result = benchmark(contains, left, right, semantics)
+    assert result.verdict is expected

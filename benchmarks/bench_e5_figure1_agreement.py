@@ -1,0 +1,51 @@
+"""E5 — Figure 1: the full agreement matrix, timed per cell group.
+
+Regenerates the paper's main table empirically: for each (class pair,
+semantics) cell, the cell's decider runs on generated query pairs and the
+verdicts are cross-validated against the bounded reference search.
+"""
+
+import pytest
+
+from repro.analysis.workloads import query_pair_family
+from repro.containment.api import contains
+from repro.containment.bounded import search_counterexample
+from repro.containment.result import Verdict
+from repro.queries.crpq import QueryClass
+from repro.semantics.base import ALL_SEMANTICS
+
+CELLS = [
+    (QueryClass.CQ, QueryClass.CQ),
+    (QueryClass.CQ, QueryClass.CRPQ),
+    (QueryClass.CRPQ_FIN, QueryClass.CRPQ_FIN),
+    (QueryClass.CRPQ, QueryClass.CQ),
+    (QueryClass.CRPQ, QueryClass.CRPQ),
+]
+
+
+def _run_cell(pairs, semantics):
+    from repro.semantics.evaluation import in_evaluation
+
+    consistent = 0
+    for q1, q2 in pairs:
+        result = contains(q1, q2, semantics, max_word_length=2)
+        if result.verdict is Verdict.NOT_CONTAINED:
+            # Verify the witness directly: Q2 must miss it.
+            witness = result.counterexample
+            consistent += not in_evaluation(
+                q2, witness.as_graph(), witness.head, semantics
+            )
+        else:
+            reference = search_counterexample(q1, q2, semantics,
+                                              max_word_length=2)
+            consistent += reference.verdict is not Verdict.NOT_CONTAINED
+    return consistent
+
+
+@pytest.mark.parametrize("left,right", CELLS,
+                         ids=[f"{l}-{r}" for l, r in CELLS])
+@pytest.mark.parametrize("semantics", ALL_SEMANTICS, ids=str)
+def test_bench_figure1_cell(benchmark, left, right, semantics):
+    pairs = list(query_pair_family(left, right, count=3, seed=42))
+    consistent = benchmark(_run_cell, pairs, semantics)
+    assert consistent == len(pairs)

@@ -1,0 +1,48 @@
+"""E6 — Theorem 5.1: the query-injective PSpace decider, timed.
+
+Regenerates the decider-vs-automaton-size scaling: the abstraction-class
+machinery's cost grows with the size of Q2's combined automaton, the
+quantity the PSpace bound is measured in.  Also reports the number of
+abstraction classes realized per atom (printed with -s).
+"""
+
+import pytest
+
+from repro.containment.abstraction import (
+    _combined_q2_nfa,
+    atom_classes,
+    contains_abstraction,
+)
+from repro.queries.parser import parse_query
+
+PAIRS = [
+    ("tiny", "Q(x,y) :- x -[(ab)*]-> y", "Q(x,y) :- x -[(a+b)*]-> y", True),
+    ("split", "Q() :- x -[a*]-> y, y -[b]-> z", "Q() :- x -[a*b]-> y", True),
+    ("neg", "Q(x,y) :- x -[(a+b)^+]-> y", "Q(x,y) :- x -[(ab)^+]-> y", False),
+    (
+        "twoatom",
+        "Q() :- x -[(ab)^+]-> y, y -[c]-> z",
+        "Q() :- u -[ab]-> v, v -[(ab)*c]-> w",
+        True,
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "name,left,right,expected", PAIRS, ids=[p[0] for p in PAIRS]
+)
+@pytest.mark.parametrize("semantics", ["st", "q-inj"], ids=str)
+def test_bench_qinj_decider(benchmark, name, left, right, expected, semantics):
+    q1 = parse_query(left)
+    q2 = parse_query(right)
+    result = benchmark(contains_abstraction, q1, q2, semantics)
+    assert bool(result) == expected, (name, semantics)
+
+
+def test_bench_class_enumeration(benchmark):
+    q1 = parse_query("Q(x,y) :- x -[(ab)*]-> y")
+    q2 = parse_query("Q(x,y) :- x -[(a+b)*]-> y")
+    q2_nfa = _combined_q2_nfa((q2,))
+    classes = benchmark(atom_classes, q1.atoms[0], q2_nfa)
+    print(f"\n  abstraction classes for (ab)* against (a+b)*: {len(classes)}")
+    assert classes

@@ -1,0 +1,36 @@
+"""E8 — Theorem 6.1: the GCP2 reduction (Figure 6), timed.
+
+Regenerates the Π2p-hardness mechanism: the q-inj containment verdict of
+the constructed (Q1, Q2) pair tracks brute-force GCP2 exactly, and the
+decider's cost reflects the quadratic gadget blow-up.
+"""
+
+import pytest
+
+from repro.containment.api import contains
+from repro.containment.result import Verdict
+from repro.reductions import gcp2
+
+INSTANCES = [
+    ("triangle-neg", gcp2.triangle_instance()),
+    ("path-pos", gcp2.path_instance()),
+    ("square-pos", ([("a", "b"), ("b", "c"), ("c", "d"), ("d", "a")],
+                    ["a", "b", "c", "d"], 2)),
+]
+
+
+@pytest.mark.parametrize("name,instance", INSTANCES,
+                         ids=[n for n, _ in INSTANCES])
+def test_bench_gcp2_reduction(benchmark, name, instance):
+    edges, verts, n = instance
+    positive = gcp2.gcp2_brute_force(edges, verts, n) is not None
+    q1, q2 = gcp2.build_reduction(edges, verts, n)
+    result = benchmark(contains, q1, q2, "q-inj")
+    assert (result.verdict is Verdict.NOT_CONTAINED) == positive
+
+
+@pytest.mark.parametrize("name,instance", INSTANCES,
+                         ids=[n for n, _ in INSTANCES])
+def test_bench_gcp2_brute_force(benchmark, name, instance):
+    edges, verts, n = instance
+    benchmark(gcp2.gcp2_brute_force, edges, verts, n)

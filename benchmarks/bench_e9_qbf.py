@@ -1,0 +1,42 @@
+"""E9 — Theorem 6.2: the ∀∃-QBF reduction (Figure 7), timed.
+
+Regenerates the Π2p-hardness mechanism for CQ/CRPQfin containment under
+atom-injective semantics: the containment verdict of the constructed
+(Q1, Q2) pair tracks brute-force QBF validity exactly.
+"""
+
+import pytest
+
+from repro.containment.api import contains
+from repro.reductions import qbf
+
+FORMULAS = [
+    ("valid-xor", qbf.tautology_example()),
+    ("invalid", qbf.invalid_example()),
+    ("exists-only", qbf.ForallExistsQBF(0, 1, [(("y", 1, True),)])),
+    (
+        "two-universal",
+        qbf.ForallExistsQBF(
+            2, 1,
+            [
+                (("x", 1, True), ("x", 2, True), ("y", 1, True)),
+                (("x", 1, False), ("y", 1, False)),
+            ],
+        ),
+    ),
+]
+
+
+@pytest.mark.parametrize("name,formula", FORMULAS,
+                         ids=[n for n, _ in FORMULAS])
+def test_bench_qbf_reduction(benchmark, name, formula):
+    expected = formula.is_valid()
+    q1, q2 = qbf.build_reduction(formula)
+    result = benchmark(contains, q1, q2, "a-inj")
+    assert bool(result) == expected, name
+
+
+@pytest.mark.parametrize("name,formula", FORMULAS,
+                         ids=[n for n, _ in FORMULAS])
+def test_bench_qbf_brute_force(benchmark, name, formula):
+    benchmark(formula.is_valid)

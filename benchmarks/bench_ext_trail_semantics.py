@@ -1,0 +1,40 @@
+"""Extension artifact — §7 trail semantics (the Neo4j/Cypher variant).
+
+Measures the five-way semantics census (st / a-inj / q-inj / atom-trail /
+query-trail) on the Figure 2 graphs and a knowledge-graph workload, and
+re-asserts the inclusion structure each run.
+"""
+
+import pytest
+
+from repro.graphdb.generators import social_knowledge_graph
+from repro.queries.parser import parse_query
+from repro.semantics.evaluation import evaluate
+from repro.semantics.trails import evaluate_trails
+
+
+def _census(query, graph):
+    results = {
+        "st": evaluate(query, graph, "st"),
+        "a-inj": evaluate(query, graph, "a-inj"),
+        "q-inj": evaluate(query, graph, "q-inj"),
+        "atom-trail": evaluate_trails(query, graph, "atom-trail"),
+        "query-trail": evaluate_trails(query, graph, "query-trail"),
+    }
+    assert results["query-trail"] <= results["atom-trail"] <= results["st"]
+    assert results["a-inj"] <= results["atom-trail"]
+    return results
+
+
+def test_bench_trail_census_fig2(benchmark, figure2_query, figure2_g_prime):
+    results = benchmark(_census, figure2_query, figure2_g_prime)
+    assert results
+
+
+@pytest.mark.parametrize("hops", [2, 3], ids=lambda h: f"hops={h}")
+def test_bench_trail_census_knowledge_graph(benchmark, hops):
+    graph = social_knowledge_graph(num_people=6, num_papers=4, seed=3)
+    chain = "<knows>" * hops
+    query = parse_query(f"Q(x, y) :- x -[{chain}]-> y")
+    results = benchmark(_census, query, graph)
+    assert results

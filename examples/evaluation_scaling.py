@@ -1,0 +1,27 @@
+"""E3 report: evaluation cost vs database size, per semantics.
+
+Prints the scaling rows behind §3's complexity claims: standard
+evaluation stays cheap as the database grows, while the injective
+semantics diverge on adversarial families (Prop 3.2's NP-completeness in
+data complexity, visible as the q-inj/st slowdown column).
+
+Run:  python examples/evaluation_scaling.py [max_size]
+"""
+
+import sys
+
+from repro.analysis.scaling import run_scaling, scaling_report_text
+
+
+def main():
+    max_size = int(sys.argv[1]) if len(sys.argv) > 1 else 10
+    sizes = tuple(range(4, max_size + 1, 2))
+    rows = run_scaling(sizes=sizes, road_lengths=(2, 3), repeat=2)
+    print("Evaluation scaling (E3) — uniform random graphs and the")
+    print("bridge-rich two-lane family")
+    print("=" * 56)
+    print(scaling_report_text(rows))
+
+
+if __name__ == "__main__":
+    main()

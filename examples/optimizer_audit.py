@@ -1,0 +1,83 @@
+"""Static-analysis scenario: auditing query rewrites per semantics.
+
+Containment is the basis of query optimization (§1): a rewrite Q1 ↦ Q2 is
+sound iff Q1 ⊆ Q2 and Q2 ⊆ Q1 (equivalence), or Q1 ⊆ Q2 for a relaxation.
+The paper's headline result is that the *same* rewrite can be sound under
+one semantics and unsound under another — this script audits a small
+catalog of classic rewrites under all three semantics and prints the
+verdict matrix, including witnesses for unsound cases.
+
+Run:  python examples/optimizer_audit.py
+"""
+
+from repro import Semantics, contains, parse_query
+from repro.containment.result import Verdict
+
+REWRITES = [
+    (
+        "atom fusion (path concatenation)",
+        "Q() :- x -a-> y, y -b-> z",
+        "Q() :- x -[ab]-> y",
+    ),
+    (
+        "atom fission (path split)",
+        "Q() :- x -[ab]-> y",
+        "Q() :- x -a-> y, y -b-> z",
+    ),
+    (
+        "star widening",
+        "Q(x, y) :- x -[(ab)*]-> y",
+        "Q(x, y) :- x -[(a+b)*]-> y",
+    ),
+    (
+        "redundant-atom elimination",
+        "Q() :- x -a-> y, x -a-> z",
+        "Q() :- x -a-> y",
+    ),
+    (
+        "loop unrolling (one step)",
+        "Q(x, y) :- x -[a^+]-> y",
+        "Q(x, y) :- x -[a]-> z, z -[a*]-> y",
+    ),
+    (
+        "variable merge",
+        "Q() :- x -a-> y, x -b-> y",
+        "Q() :- x -a-> y, u -b-> v",
+    ),
+]
+
+
+def main():
+    header = f"{'rewrite':<38}" + "".join(
+        f"{str(s):>10}" for s in Semantics
+    )
+    print(header)
+    print("-" * len(header))
+    for name, left_text, right_text in REWRITES:
+        left = parse_query(left_text)
+        right = parse_query(right_text)
+        cells = []
+        witnesses = {}
+        for semantics in Semantics:
+            result = contains(left, right, semantics, max_word_length=3)
+            if result.verdict is Verdict.CONTAINED:
+                cells.append("sound")
+            elif result.verdict is Verdict.NOT_CONTAINED:
+                cells.append("UNSOUND")
+                witnesses[semantics] = result.counterexample
+            else:
+                cells.append(f"≤bound {result.bound}")
+        print(f"{name:<38}" + "".join(f"{c:>10}" for c in cells))
+        for semantics, witness in witnesses.items():
+            print(f"    [{semantics}] counterexample: {witness}")
+    print()
+    print(
+        "Note how 'atom fusion' is sound under standard and query-injective\n"
+        "semantics but unsound under atom-injective semantics (Example 4.7):\n"
+        "the quotient identifying the path's endpoints answers Q1 but has no\n"
+        "simple ab-path for Q2."
+    )
+
+
+if __name__ == "__main__":
+    main()

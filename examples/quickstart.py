@@ -1,0 +1,44 @@
+"""Quickstart: graph databases, CRPQs, the three semantics, containment.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import GraphDatabase, Semantics, contains, evaluate, parse_query
+
+
+def main():
+    # 1. Build a graph database (Figure 2's G, reconstructed).
+    graph = GraphDatabase()
+    graph.add_edge("u", "a", "v")
+    graph.add_edge("v", "b", "w")
+    graph.add_edge("w", "c", "v")
+    graph.add_edge("v", "c", "u")
+    print(graph.pretty())
+    print()
+
+    # 2. Parse the paper's running query Q(x,y) = x -(ab)*-> y ∧ y -c*-> x.
+    query = parse_query("Q(x, y) :- x -[(ab)*]-> y, y -[c*]-> x")
+    print(f"query: {query}  (class: {query.query_class()})")
+    print()
+
+    # 3. Evaluate under the three semantics (§2.1). Remark 2.1's hierarchy
+    #    q-inj ⊆ a-inj ⊆ st always holds; here (u, w) separates q-inj
+    #    from a-inj because both atom paths must pass through v.
+    for semantics in Semantics:
+        answers = sorted(evaluate(query, graph, semantics))
+        print(f"Q(G){str(semantics):>6} = {answers}")
+    print()
+
+    # 4. Containment (§4): Example 4.7's pair, where the three semantics
+    #    genuinely disagree about query optimization validity.
+    q1 = parse_query("Q() :- x -a-> y, y -b-> z")
+    q2 = parse_query("Q() :- x -[ab]-> y")
+    for semantics in Semantics:
+        result = contains(q1, q2, semantics)
+        print(f"Q1 ⊆ Q2 under {semantics}? {result}")
+        if result.counterexample is not None:
+            print(f"   counterexample: {result.counterexample}")
+
+
+if __name__ == "__main__":
+    main()

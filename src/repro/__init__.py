@@ -1,0 +1,55 @@
+"""repro — a reproduction of "Conjunctive Regular Path Queries under
+Injective Semantics" (Figueira & Romero, PODS 2023).
+
+Public API highlights:
+
+- :class:`repro.GraphDatabase` — edge-labeled directed graphs (§2);
+- :func:`repro.parse_query` / :class:`repro.CRPQ` / :class:`repro.CQ` —
+  the query model;
+- :class:`repro.Semantics` and :func:`repro.evaluate` — evaluation under
+  standard, atom-injective, and query-injective semantics (§2.1, §3);
+- :func:`repro.contains` — containment deciders for every cell of
+  Figure 1 (§4–§6), with honest bounded verdicts on the undecidable cell;
+- :mod:`repro.reductions` — executable hardness reductions (PCP, GCP2,
+  ∀∃-QBF, subgraph isomorphism).
+"""
+
+from repro.containment import ContainmentResult, Verdict, containment_cell, contains
+from repro.errors import (
+    NotSupportedError,
+    QuerySyntaxError,
+    RegexSyntaxError,
+    ReproError,
+    SearchBudgetExceeded,
+)
+from repro.graphdb import GraphDatabase
+from repro.queries import CQ, CRPQ, Atom, CQAtom, parse_query, union_of
+from repro.regular import NFA, parse_regex
+from repro.semantics import Semantics, evaluate, in_evaluation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GraphDatabase",
+    "CQ",
+    "CRPQ",
+    "Atom",
+    "CQAtom",
+    "parse_query",
+    "parse_regex",
+    "union_of",
+    "NFA",
+    "Semantics",
+    "evaluate",
+    "in_evaluation",
+    "contains",
+    "containment_cell",
+    "ContainmentResult",
+    "Verdict",
+    "ReproError",
+    "RegexSyntaxError",
+    "QuerySyntaxError",
+    "SearchBudgetExceeded",
+    "NotSupportedError",
+    "__version__",
+]

@@ -1,0 +1,18 @@
+"""Experiment harness: the Figure 1 complexity table as an executable
+artifact, instance generators per cell, and paper-style row printers."""
+
+from repro.analysis.figure1 import FIGURE1, Figure1Cell, figure1_table_text
+from repro.analysis.experiments import (
+    agreement_matrix,
+    hierarchy_check,
+    semantics_census,
+)
+
+__all__ = [
+    "FIGURE1",
+    "Figure1Cell",
+    "figure1_table_text",
+    "agreement_matrix",
+    "hierarchy_check",
+    "semantics_census",
+]

@@ -1,0 +1,108 @@
+"""Figure 1 as data: the complexity of C1/C2 containment per semantics.
+
+Each cell records the paper's complexity claim and which of our deciders
+covers it; :func:`figure1_table_text` prints the table in the paper's
+layout.  The agreement experiments (E5) iterate over these cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.queries.crpq import QueryClass
+from repro.semantics.base import Semantics
+
+
+@dataclass(frozen=True)
+class Figure1Cell:
+    """One cell of Figure 1."""
+
+    left: QueryClass
+    right: QueryClass
+    semantics: Semantics
+    complexity: str
+    decider: str
+
+    @property
+    def decidable(self):
+        return self.complexity != "undecidable"
+
+    def __str__(self):
+        return (
+            f"{self.left}/{self.right} [{self.semantics}]: {self.complexity}"
+            f" (decider: {self.decider})"
+        )
+
+
+def _cells():
+    CQc, FIN, FULL = QueryClass.CQ, QueryClass.CRPQ_FIN, QueryClass.CRPQ
+    ST, AI, QI = (
+        Semantics.STANDARD,
+        Semantics.ATOM_INJECTIVE,
+        Semantics.QUERY_INJECTIVE,
+    )
+    finite = "finite-left"
+    classes = "abstraction-classes"
+    semi = "ainj-bounded-search (semi-decider)"
+    rows = [
+        # left, right, {semantics: complexity}
+        (CQc, CQc, {ST: "NP-complete", QI: "NP-complete", AI: "NP-complete"}),
+        (CQc, FULL, {ST: "NP-complete", QI: "NP-complete", AI: "Π2p-complete"}),
+        (FULL, CQc, {ST: "Π2p-complete", QI: "Π2p-complete", AI: "Π2p-complete"}),
+        (CQc, FIN, {ST: "NP-complete", QI: "NP-complete", AI: "Π2p-complete"}),
+        (FIN, CQc, {ST: "Π2p-complete", QI: "Π2p-complete", AI: "Π2p-complete"}),
+        (FULL, FIN, {ST: "PSpace-complete", QI: "PSpace-complete", AI: "undecidable"}),
+        (FIN, FULL, {ST: "Π2p-complete", QI: "Π2p-complete", AI: "Π2p-complete"}),
+        (FIN, FIN, {ST: "Π2p-complete", QI: "Π2p-complete", AI: "Π2p-complete"}),
+        (FULL, FULL, {ST: "ExpSpace-complete", QI: "PSpace-complete", AI: "undecidable"}),
+    ]
+    cells = []
+    for left, right, by_semantics in rows:
+        for semantics, complexity in by_semantics.items():
+            if left in (CQc, FIN):
+                decider = finite
+            elif complexity == "undecidable":
+                decider = semi
+            else:
+                decider = classes
+            cells.append(Figure1Cell(left, right, semantics, complexity, decider))
+    return tuple(cells)
+
+
+#: All 27 cells of Figure 1 (9 class pairs × 3 semantics).
+FIGURE1 = _cells()
+
+
+def cell(left, right, semantics):
+    """Look up one cell."""
+    semantics = Semantics.coerce(semantics)
+    for entry in FIGURE1:
+        if (entry.left, entry.right, entry.semantics) == (left, right, semantics):
+            return entry
+    raise KeyError((left, right, semantics))
+
+
+def figure1_table_text():
+    """Render Figure 1 in the paper's layout (rows = semantics, columns =
+    class pairs), as plain text."""
+    pairs = []
+    seen = set()
+    for entry in FIGURE1:
+        key = (entry.left, entry.right)
+        if key not in seen:
+            seen.add(key)
+            pairs.append(key)
+    lines = []
+    header = ["semantics"] + [f"{l}/{r}" for l, r in pairs]
+    widths = [max(18, len(h) + 2) for h in header]
+    lines.append("".join(h.ljust(w) for h, w in zip(header, widths)))
+    for semantics in (
+        Semantics.STANDARD,
+        Semantics.QUERY_INJECTIVE,
+        Semantics.ATOM_INJECTIVE,
+    ):
+        row = [str(semantics)]
+        for left, right in pairs:
+            row.append(cell(left, right, semantics).complexity)
+        lines.append("".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,91 @@
+"""Scaling experiments (E3): evaluation cost vs database size, per
+semantics.
+
+Produces the rows behind the complexity-landscape claim of §3: standard
+evaluation (NL data complexity) scales smoothly, the injective semantics
+(NP-complete data complexity, Prop 3.2) blow up on adversarial families.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.graphdb.generators import two_lane_road, uniform_random
+from repro.queries.parser import parse_query
+from repro.semantics.base import ALL_SEMANTICS
+from repro.semantics.evaluation import evaluate
+
+
+@dataclass
+class ScalingRow:
+    """One measurement: family, size, semantics, seconds, answers."""
+
+    family: str
+    size: int
+    semantics: str
+    seconds: float
+    answers: int
+
+    def __str__(self):
+        return (f"{self.family:<14}{self.size:>5}  {self.semantics:<7}"
+                f"{self.seconds:>10.4f}s  {self.answers:>5} answers")
+
+
+def run_scaling(sizes=(4, 6, 8), road_lengths=(2, 3), seed=5, repeat=1):
+    """Run the E3 sweep; returns a list of :class:`ScalingRow`.
+
+    Families:
+      - ``uniform``: seeded uniform random graphs, query (ab)+ with free
+        endpoints (data-complexity probe);
+      - ``two-lane``: the bridge-rich family where simple-path search
+        branches combinatorially (Boolean reachability probe).
+    """
+    rows = []
+    uniform_query = parse_query("Q(x, y) :- x -[(ab)^+]-> y")
+    for size in sizes:
+        graph = uniform_random(size, 3 * size, {"a", "b"}, seed=seed)
+        for semantics in ALL_SEMANTICS:
+            seconds, answers = _measure(uniform_query, graph, semantics,
+                                        repeat)
+            rows.append(ScalingRow("uniform", size, str(semantics),
+                                   seconds, answers))
+    road_query = parse_query("Q() :- x -[a(a+b+x)*a]-> y")
+    for length in road_lengths:
+        graph = two_lane_road(length)
+        for semantics in ALL_SEMANTICS:
+            seconds, answers = _measure(road_query, graph, semantics, repeat)
+            rows.append(ScalingRow("two-lane", length, str(semantics),
+                                   seconds, answers))
+    return rows
+
+
+def _measure(query, graph, semantics, repeat):
+    best = None
+    answers = 0
+    for _ in range(max(repeat, 1)):
+        start = time.perf_counter()
+        result = evaluate(query, graph, semantics)
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+        answers = len(result)
+    return best, answers
+
+
+def scaling_report_text(rows):
+    """Render rows plus the per-size slowdown of injective vs standard."""
+    lines = ["family          size  sem        seconds  answers",
+             "-" * 52]
+    lines.extend(str(row) for row in rows)
+    lines.append("")
+    by_key = {(r.family, r.size, r.semantics): r.seconds for r in rows}
+    for family in ("uniform", "two-lane"):
+        sizes = sorted({r.size for r in rows if r.family == family})
+        for size in sizes:
+            st = by_key.get((family, size, "st"))
+            qinj = by_key.get((family, size, "q-inj"))
+            if st and qinj and st > 0:
+                lines.append(
+                    f"{family} n={size}: q-inj / st slowdown = {qinj / st:.1f}×"
+                )
+    return "\n".join(lines)

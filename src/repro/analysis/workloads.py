@@ -1,0 +1,130 @@
+"""Random query/instance generators per Figure 1 cell.
+
+Deterministic (seeded) generators producing small CRPQs of a requested
+class, used by the agreement experiments (E5) and the benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.queries.atoms import Atom
+from repro.queries.crpq import CRPQ, QueryClass
+from repro.regular.syntax import (
+    Symbol,
+    concat,
+    plus,
+    star,
+    union,
+    word as word_regex,
+)
+
+
+def random_language(rng, alphabet, query_class, max_depth=2):
+    """A small random regex of the requested class over ``alphabet``."""
+    alphabet = sorted(alphabet)
+
+    def leaf():
+        return Symbol(rng.choice(alphabet))
+
+    def build(depth, allow_star):
+        if depth == 0:
+            return leaf()
+        choice = rng.random()
+        if choice < 0.35:
+            return concat(build(depth - 1, allow_star), build(depth - 1, allow_star))
+        if choice < 0.65:
+            return union(build(depth - 1, allow_star), build(depth - 1, allow_star))
+        if allow_star and choice < 0.8:
+            return star(build(depth - 1, allow_star))
+        if allow_star:
+            return plus(build(depth - 1, allow_star))
+        return leaf()
+
+    if query_class is QueryClass.CQ:
+        return leaf()
+    if query_class is QueryClass.CRPQ_FIN:
+        return build(max_depth, allow_star=False)
+    # Force at least the possibility of a star for the CRPQ class; the
+    # classifier may still call star-free draws CRPQfin, which is fine —
+    # the class lattice is CQ ⊂ CRPQfin ⊂ CRPQ.
+    node = build(max_depth, allow_star=True)
+    if node.is_star_free():
+        node = concat(node, star(leaf()))
+    return node
+
+
+def random_query(rng, query_class, num_variables=3, num_atoms=3,
+                 alphabet=("a", "b"), arity=0):
+    """A small random CRPQ of the requested class (Boolean by default)."""
+    variables = [f"v{i}" for i in range(num_variables)]
+    atoms = []
+    for _ in range(num_atoms):
+        source = rng.choice(variables)
+        target = rng.choice(variables)
+        language = random_language(rng, alphabet, query_class)
+        atoms.append(Atom(source, language, target))
+    head = tuple(rng.choice(variables) for _ in range(arity))
+    return CRPQ(head, tuple(atoms), extra_variables=variables)
+
+
+def query_pair_family(cell_left, cell_right, count=10, seed=0,
+                      alphabet=("a", "b"), arity=0):
+    """Yield ``count`` random (Q1, Q2) pairs for a Figure 1 cell.
+
+    To get a healthy mix of contained and non-contained pairs, every other
+    pair makes Q2 a relaxation of Q1 (removing an atom from a Q1-like
+    query), which is contained under standard semantics by construction.
+    """
+    rng = random.Random(seed)
+    for index in range(count):
+        q1 = random_query(rng, cell_left, num_variables=3,
+                          num_atoms=rng.randint(1, 3), alphabet=alphabet,
+                          arity=arity)
+        if index % 2 == 0 or len(q1.atoms) <= 1:
+            q2 = random_query(rng, cell_right, num_variables=3,
+                              num_atoms=rng.randint(1, 2), alphabet=alphabet,
+                              arity=arity)
+        else:
+            kept = list(q1.atoms)
+            kept.pop(rng.randrange(len(kept)))
+            q2 = CRPQ(q1.head, tuple(_coerce_atoms(kept, cell_right, rng, alphabet)),
+                      extra_variables=q1.variables)
+        yield q1, q2
+
+
+def _coerce_atoms(atoms, query_class, rng, alphabet):
+    """Force atom languages into the requested class (by redrawing any
+    language that is too expressive)."""
+    order = {QueryClass.CQ: 0, QueryClass.CRPQ_FIN: 1, QueryClass.CRPQ: 2}
+    coerced = []
+    for atom in atoms:
+        current = (
+            QueryClass.CQ
+            if isinstance(atom.language, Symbol)
+            else (QueryClass.CRPQ_FIN if atom.language.is_star_free()
+                  else QueryClass.CRPQ)
+        )
+        if order[current] <= order[query_class]:
+            coerced.append(atom)
+        else:
+            coerced.append(
+                Atom(atom.source,
+                     random_language(rng, alphabet, query_class),
+                     atom.target)
+            )
+    return coerced
+
+
+def random_word_graph(rng, alphabet, num_nodes=5, num_edges=8):
+    """A random graph database for evaluation experiments."""
+    from repro.graphdb.graph import GraphDatabase
+
+    graph = GraphDatabase(nodes=range(num_nodes))
+    for _ in range(num_edges):
+        graph.add_edge(
+            rng.randrange(num_nodes),
+            rng.choice(sorted(alphabet)),
+            rng.randrange(num_nodes),
+        )
+    return graph

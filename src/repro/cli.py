@@ -1,0 +1,192 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``evaluate``  — evaluate a query over a graph file under a semantics;
+- ``contains``  — decide containment between two queries;
+- ``figure1``   — print the Figure 1 complexity table (optionally with the
+  empirical agreement matrix);
+- ``examples``  — list the runnable example scripts.
+
+Graph files are plain text, one edge per line: ``source label target``
+(whitespace-separated; ``#`` comments allowed).  Queries use the
+:mod:`repro.queries.parser` syntax, e.g.
+``"Q(x, y) :- x -[(ab)*]-> y, y -[c*]-> x"``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.containment.api import contains
+from repro.graphdb.graph import GraphDatabase
+from repro.queries.parser import parse_query
+from repro.semantics.base import Semantics
+from repro.semantics.evaluation import evaluate
+from repro.semantics.trails import TrailSemantics, evaluate_trails
+
+
+def load_graph(path):
+    """Load a graph database from a ``source label target`` text file."""
+    graph = GraphDatabase()
+    with open(path) as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split()
+            if len(parts) != 3:
+                raise ValueError(
+                    f"{path}:{line_number}: expected 'source label target', "
+                    f"got {line!r}"
+                )
+            source, label, target = parts
+            graph.add_edge(source, label, target)
+    return graph
+
+
+def _semantics_argument(value):
+    try:
+        return Semantics.coerce(value)
+    except ValueError:
+        return TrailSemantics.coerce(value)
+
+
+def cmd_evaluate(args):
+    graph = load_graph(args.graph)
+    query = parse_query(args.query)
+    semantics = _semantics_argument(args.semantics)
+    if isinstance(semantics, TrailSemantics):
+        answers = evaluate_trails(query, graph, semantics)
+    else:
+        answers = evaluate(query, graph, semantics)
+    print(f"# {query}")
+    print(f"# semantics: {semantics}; graph: {graph}")
+    for answer in sorted(answers, key=repr):
+        print("\t".join(str(node) for node in answer) or "()")
+    print(f"# {len(answers)} answer(s)")
+    return 0
+
+
+def cmd_contains(args):
+    q1 = parse_query(args.left)
+    q2 = parse_query(args.right)
+    semantics = Semantics.coerce(args.semantics)
+    result = contains(q1, q2, semantics, max_word_length=args.bound)
+    print(f"Q1: {q1}")
+    print(f"Q2: {q2}")
+    print(f"result: {result}")
+    if result.counterexample is not None:
+        print(f"counterexample: {result.counterexample}")
+    return 0 if bool(result) else 1
+
+
+def cmd_certify(args):
+    from repro.containment.certificates import containment_certificate
+    from repro.containment.result import Verdict
+
+    q1 = parse_query(args.left)
+    q2 = parse_query(args.right)
+    semantics = Semantics.coerce(args.semantics)
+    verdict, payload = containment_certificate(q1, q2, semantics)
+    print(f"Q1: {q1}")
+    print(f"Q2: {q2}")
+    print(f"verdict: {verdict}")
+    if verdict is Verdict.CONTAINED:
+        print(f"certificate: {len(payload)} expansion witness(es), "
+              f"verify() = {payload.verify()}")
+        for left_cq, right_cq, hom in payload.entries:
+            rendered = ", ".join(
+                f"{k}↦{v}" for k, v in sorted(hom.items(), key=repr)
+            )
+            print(f"  {left_cq}")
+            print(f"    ⊇ {right_cq} via {{{rendered}}}")
+        return 0
+    print(f"counterexample: {payload}")
+    return 1
+
+
+def cmd_figure1(args):
+    from repro.analysis.figure1 import figure1_table_text
+
+    print(figure1_table_text())
+    if args.agree:
+        from repro.analysis.experiments import (
+            agreement_matrix,
+            agreement_matrix_text,
+        )
+
+        print()
+        rows = agreement_matrix(pairs_per_cell=args.pairs, seed=args.seed)
+        print(agreement_matrix_text(rows))
+    return 0
+
+
+def cmd_examples(_args):
+    examples = [
+        ("quickstart.py", "API tour: Figure 2, Example 2.1, Example 4.7"),
+        ("knowledge_graph_queries.py", "semantics choice on a knowledge graph"),
+        ("optimizer_audit.py", "rewrite soundness per semantics"),
+        ("undecidability_frontier.py", "the PCP reduction live"),
+        ("figure1_report.py", "Figure 1 + empirical agreement"),
+    ]
+    for name, description in examples:
+        print(f"examples/{name:<32} {description}")
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CRPQs under injective semantics (PODS 2023) — "
+                    "evaluation and containment tools",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_eval = sub.add_parser("evaluate", help="evaluate a query over a graph")
+    p_eval.add_argument("query", help='e.g. "Q(x,y) :- x -[(ab)*]-> y"')
+    p_eval.add_argument("graph", help="edge-list file: 'source label target'")
+    p_eval.add_argument(
+        "--semantics", default="st",
+        help="st | a-inj | q-inj | atom-trail | query-trail",
+    )
+    p_eval.set_defaults(func=cmd_evaluate)
+
+    p_cont = sub.add_parser("contains", help="decide Q1 ⊆ Q2")
+    p_cont.add_argument("left")
+    p_cont.add_argument("right")
+    p_cont.add_argument("--semantics", default="st")
+    p_cont.add_argument("--bound", type=int, default=4,
+                        help="word-length bound for the undecidable cell")
+    p_cont.set_defaults(func=cmd_contains)
+
+    p_cert = sub.add_parser(
+        "certify",
+        help="decide Q1 ⊆ Q2 with a re-checkable certificate (star-free)",
+    )
+    p_cert.add_argument("left")
+    p_cert.add_argument("right")
+    p_cert.add_argument("--semantics", default="st")
+    p_cert.set_defaults(func=cmd_certify)
+
+    p_fig = sub.add_parser("figure1", help="print the complexity table")
+    p_fig.add_argument("--agree", action="store_true",
+                       help="also run the agreement experiment")
+    p_fig.add_argument("--pairs", type=int, default=2)
+    p_fig.add_argument("--seed", type=int, default=0)
+    p_fig.set_defaults(func=cmd_figure1)
+
+    p_ex = sub.add_parser("examples", help="list example scripts")
+    p_ex.set_defaults(func=cmd_examples)
+    return parser
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

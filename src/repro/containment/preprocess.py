@@ -1,0 +1,238 @@
+"""Query normalizations used by the containment deciders (Appendix C).
+
+- :func:`merge_degree_one_variables` — Remark C.1: a non-free variable y
+  with exactly two incident atoms x -[L]-> y, y -[L'] -> x' (in-degree =
+  out-degree = 1, y ∉ {x, x'}) can be eliminated by concatenating the
+  languages.  Applied to Q2, this guarantees that in any injective
+  morphism type at most pairwise-coupled run constraints arise per atom
+  word of Q1, which is what makes the abstraction classes complete.
+- :func:`split_parallel_singletons` — Remark C.2(ii): rewrite Q into an
+  equivalent union in which no two distinct parallel atoms (same source
+  and target) share a single-letter word; without this, two atoms can
+  expand to the *same* edge (expansions are atom sets), and per-atom
+  abstraction classes would not determine the expansion graph.
+"""
+
+from __future__ import annotations
+
+from repro.queries.atoms import Atom
+from repro.queries.crpq import CRPQ
+from repro.regular.syntax import Symbol, concat, union
+from repro.regular.words import language_words_if_finite
+from repro.regular.nfa import NFA
+
+
+def merge_degree_one_variables(query):
+    """Apply Remark C.1 exhaustively; returns an equivalent CRPQ.
+
+    Equivalence holds under both standard and query-injective semantics
+    (the merged atom's simple path decomposes at y and vice versa).
+    """
+    current = query
+    while True:
+        merged = _merge_once(current)
+        if merged is None:
+            return current
+        current = merged
+
+
+def _merge_once(query):
+    head_vars = set(query.head)
+    incoming = {}
+    outgoing = {}
+    for index, atom in enumerate(query.atoms):
+        outgoing.setdefault(atom.source, []).append(index)
+        incoming.setdefault(atom.target, []).append(index)
+    for variable in sorted(query.variables, key=repr):
+        if variable in head_vars:
+            continue
+        ins = incoming.get(variable, [])
+        outs = outgoing.get(variable, [])
+        if len(ins) != 1 or len(outs) != 1 or ins[0] == outs[0]:
+            continue
+        first = query.atoms[ins[0]]
+        second = query.atoms[outs[0]]
+        if variable in (first.source, second.target):
+            continue  # y ∈ {x, x'}: a loop through y, not mergeable
+        new_atom = Atom(
+            first.source, concat(first.language, second.language), second.target
+        )
+        atoms = [
+            atom
+            for index, atom in enumerate(query.atoms)
+            if index not in (ins[0], outs[0])
+        ] + [new_atom]
+        remaining = query.variables - {variable}
+        return CRPQ(query.head, tuple(atoms), extra_variables=remaining)
+    return None
+
+
+def _single_letters(language):
+    """The set of single letters a with (a,) in the language."""
+    nfa = NFA.from_regex(language)
+    letters = set()
+    for label in nfa.alphabet:
+        if nfa.accepts((label,)):
+            letters.add(label)
+    return letters
+
+
+def _without_letter(language, letter):
+    """A regex for L \\ {letter} (as a length-1 word; longer words kept).
+
+    Implemented as (L ∩ length-1 minus letter) + (L ∩ length≥2); we build
+    it syntactically: single letters enumerated, the length≥2 part via a
+    guard that is exact because we only ever call this on the *language of
+    an atom being split by single-letter cases* — the non-single-letter
+    residue is the same for every branch.
+    """
+    singles = _single_letters(language)
+    keep = sorted(singles - {letter}, key=repr)
+    parts = None
+    for a in keep:
+        parts = Symbol(a) if parts is None else union(parts, Symbol(a))
+    longer = _length_at_least_two_part(language)
+    if parts is None:
+        return longer
+    if longer is None:
+        return parts
+    return union(parts, longer)
+
+
+def _length_at_least_two_part(language):
+    """A regex for the words of L of length ≥ 2, or None if empty.
+
+    For finite languages we enumerate; for infinite ones we intersect with
+    Σ·Σ·Σ* via the NFA product and use the NFA directly wrapped as an
+    enumerated union when finite, else we construct the product regex via
+    state elimination — to stay simple we only need this for *finite*
+    intersections in practice, and fall back to an NFA-backed marker
+    otherwise.
+    """
+    from repro.regular.syntax import from_words
+    from repro.regular.words import language_is_finite
+
+    nfa = NFA.from_regex(language)
+    if language_is_finite(nfa):
+        words = [w for w in language_words_if_finite(nfa) if len(w) >= 2]
+        if not words:
+            return None
+        return from_words(words)
+    # Infinite language: build Σ·Σ·Σ* over the language's alphabet and
+    # intersect, then convert back to a regex by state elimination.
+    sigma = None
+    for label in sorted(nfa.alphabet, key=repr):
+        sigma = Symbol(label) if sigma is None else union(sigma, Symbol(label))
+    from repro.regular.syntax import concat as rconcat, star
+
+    at_least_two = rconcat(sigma, rconcat(sigma, star(sigma)))
+    product = nfa.intersection(NFA.from_regex(at_least_two)).trim()
+    if not product.states or product.is_empty():
+        return None
+    return nfa_to_regex(product)
+
+
+def nfa_to_regex(nfa):
+    """Convert an NFA back to a regex by state elimination (Brzozowski–
+    McCluskey).  Used when preprocessing must re-package an intersection
+    as an atom language."""
+    from repro.regular.syntax import Empty, Epsilon, concat as rc, star as rs, union as ru
+
+    states = sorted(nfa.states, key=repr)
+    init, fin = object(), object()
+    # edge regex map over states ∪ {init, fin}
+    edges = {}
+
+    def add(u, v, regex):
+        key = (u, v)
+        edges[key] = ru(edges[key], regex) if key in edges else regex
+
+    for state in nfa.initials:
+        add(init, state, Epsilon())
+    for state in nfa.finals:
+        add(state, fin, Epsilon())
+    for (state, label), targets in nfa.transitions.items():
+        for target in targets:
+            add(state, target, Symbol(label))
+    for mid in states:
+        loop = edges.pop((mid, mid), None)
+        loop_star = rs(loop) if loop is not None else Epsilon()
+        ins = [(u, r) for (u, v), r in list(edges.items()) if v == mid and u != mid]
+        outs = [(v, r) for (u, v), r in list(edges.items()) if u == mid and v != mid]
+        for (u, _r) in ins:
+            edges.pop((u, mid))
+        for (v, _r) in outs:
+            edges.pop((mid, v))
+        for u, rin in ins:
+            for v, rout in outs:
+                add(u, v, rc(rin, rc(loop_star, rout)))
+    result = edges.get((init, fin))
+    return result if result is not None else Empty()
+
+
+def split_parallel_singletons(query):
+    """Apply Remark C.2(ii): return a tuple of CRPQs whose union is
+    equivalent to ``query`` and in which no two distinct parallel atoms
+    share a single-letter word.
+
+    For each offending pair (A1, A2), branch on: both atoms take the same
+    shared letter a (the atoms fuse into one atom x -a-> y); A1 takes some
+    single letter and A2 avoids it; A1 takes a word of length ≥ 2.
+    """
+    pending = [query]
+    finished = []
+    while pending:
+        current = pending.pop()
+        pair = _find_offending_pair(current)
+        if pair is None:
+            finished.append(current)
+            continue
+        index1, index2, shared = pair
+        atom1 = current.atoms[index1]
+        atom2 = current.atoms[index2]
+        others = [
+            atom
+            for index, atom in enumerate(current.atoms)
+            if index not in (index1, index2)
+        ]
+
+        def rebuild(new_atoms):
+            return CRPQ(
+                current.head,
+                tuple(others) + tuple(new_atoms),
+                extra_variables=current.variables,
+            )
+
+        # Branch 1: both pick the same shared letter a — atoms fuse.
+        for letter in sorted(shared, key=repr):
+            pending.append(rebuild([Atom(atom1.source, Symbol(letter), atom1.target)]))
+        # Branch 2: A1 picks a single letter a, A2 avoids a.
+        for letter in sorted(_single_letters(atom1.language), key=repr):
+            rest = _without_letter(atom2.language, letter)
+            if rest is None:
+                continue
+            pending.append(
+                rebuild(
+                    [
+                        Atom(atom1.source, Symbol(letter), atom1.target),
+                        Atom(atom2.source, rest, atom2.target),
+                    ]
+                )
+            )
+        # Branch 3: A1 picks a word of length ≥ 2.
+        longer = _length_at_least_two_part(atom1.language)
+        if longer is not None:
+            pending.append(rebuild([Atom(atom1.source, longer, atom1.target), atom2]))
+    return tuple(finished)
+
+
+def _find_offending_pair(query):
+    for i, atom1 in enumerate(query.atoms):
+        for j in range(i + 1, len(query.atoms)):
+            atom2 = query.atoms[j]
+            if atom1.source != atom2.source or atom1.target != atom2.target:
+                continue
+            shared = _single_letters(atom1.language) & _single_letters(atom2.language)
+            if shared:
+                return i, j, shared
+    return None

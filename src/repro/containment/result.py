@@ -1,0 +1,53 @@
+"""Containment verdicts.
+
+A counterexample is always a concrete CQ ``F`` (a ★-expansion of Q1, viewed
+as a graph database) whose free tuple is answered by Q1 but not by Q2 —
+directly checkable, and checked by the test suite.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Verdict(enum.Enum):
+    """Outcome of a containment check."""
+
+    CONTAINED = "contained"
+    NOT_CONTAINED = "not-contained"
+    #: Sound but inconclusive: no counterexample up to the search bound.
+    #: This is the best possible answer for atom-injective CRPQ/CRPQ
+    #: containment, which is undecidable (Theorem 5.2).
+    CONTAINED_UP_TO_BOUND = "contained-up-to-bound"
+
+    def __str__(self):
+        return self.value
+
+
+@dataclass
+class ContainmentResult:
+    """Result of a containment check Q1 ⊆★ Q2."""
+
+    verdict: Verdict
+    semantics: object
+    method: str
+    counterexample: object = None   # CQ witnessing non-containment, if any
+    bound: object = None            # search bound for bounded verdicts
+    details: dict = field(default_factory=dict)
+
+    @property
+    def conclusive(self):
+        """True iff the verdict is exact (not merely bounded)."""
+        return self.verdict is not Verdict.CONTAINED_UP_TO_BOUND
+
+    def __bool__(self):
+        """Truthiness = "is contained" (bounded verdicts are falsy).
+
+        Use :attr:`verdict` directly when the distinction matters.
+        """
+        return self.verdict is Verdict.CONTAINED
+
+    def __str__(self):
+        extra = f" (bound={self.bound})" if self.bound is not None else ""
+        return f"[{self.semantics}] {self.verdict} via {self.method}{extra}"

@@ -1,0 +1,37 @@
+"""Shared exception types for the :mod:`repro` library."""
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class RegexSyntaxError(ReproError):
+    """Raised when a regular-expression string cannot be parsed."""
+
+    def __init__(self, text, position, message):
+        self.text = text
+        self.position = position
+        self.message = message
+        super().__init__(f"{message} at position {position} in {text!r}")
+
+
+class QuerySyntaxError(ReproError):
+    """Raised when a CQ/CRPQ string cannot be parsed."""
+
+
+class SearchBudgetExceeded(ReproError):
+    """Raised when an exponential enumeration exceeds its safety budget.
+
+    The paper's algorithms are ExpSpace/PSpace/NP-hard (or undecidable);
+    rather than hang, enumerations accept a budget and raise this error
+    when it is exhausted, reporting how far they got.
+    """
+
+    def __init__(self, message, budget):
+        self.budget = budget
+        super().__init__(f"{message} (budget={budget})")
+
+
+class NotSupportedError(ReproError):
+    """Raised when an operation is provably impossible (e.g. an exact
+    decision procedure for an undecidable containment cell)."""

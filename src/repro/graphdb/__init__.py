@@ -1,0 +1,24 @@
+"""Graph-database substrate: edge-labeled directed graphs and path search.
+
+A graph database over a finite alphabet A is a finite edge-labeled graph
+G = (V, E) with E ⊆ V × A × V (§2 of the paper).
+"""
+
+from repro.graphdb.graph import Edge, GraphDatabase
+from repro.graphdb.paths import (
+    Path,
+    all_paths_up_to,
+    simple_cycles_through,
+    simple_paths,
+)
+from repro.graphdb import generators
+
+__all__ = [
+    "Edge",
+    "GraphDatabase",
+    "Path",
+    "simple_paths",
+    "simple_cycles_through",
+    "all_paths_up_to",
+    "generators",
+]

@@ -1,0 +1,161 @@
+"""Synthetic graph and workload generators.
+
+The paper has no datasets; its motivating workloads are knowledge-graph
+queries (Wikidata/DBpedia, §1).  These generators produce the graph shapes
+the paper's own examples and proofs use (label paths, cycles, grids,
+uniform random graphs) plus a small synthetic knowledge-graph with a
+social/citation flavour for the examples.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.graphdb.graph import GraphDatabase
+
+
+def labeled_path(labels, prefix="p"):
+    """A directed path spelling ``labels``: p0 -l1-> p1 -l2-> ... ."""
+    graph = GraphDatabase()
+    nodes = [f"{prefix}{i}" for i in range(len(labels) + 1)]
+    graph.add_path(nodes, list(labels))
+    return graph
+
+
+def labeled_cycle(labels, prefix="c"):
+    """A directed cycle spelling ``labels``."""
+    graph = GraphDatabase()
+    nodes = [f"{prefix}{i}" for i in range(len(labels))]
+    for i, label in enumerate(labels):
+        graph.add_edge(nodes[i], label, nodes[(i + 1) % len(labels)])
+    return graph
+
+
+def uniform_random(num_nodes, num_edges, alphabet, seed=0):
+    """A uniformly random multigraph with the given size and alphabet."""
+    rng = random.Random(seed)
+    alphabet = sorted(alphabet, key=repr)
+    graph = GraphDatabase(nodes=range(num_nodes))
+    attempts = 0
+    while graph.edge_count() < num_edges and attempts < 50 * num_edges:
+        source = rng.randrange(num_nodes)
+        target = rng.randrange(num_nodes)
+        label = rng.choice(alphabet)
+        graph.add_edge(source, label, target)
+        attempts += 1
+    return graph
+
+
+def grid(width, height, right_label="r", down_label="d"):
+    """A width×height directed grid (right/down edges).
+
+    Grids are the classic family where simple-path constraints bite:
+    standard reachability is easy but disjoint-path packing is not.
+    """
+    graph = GraphDatabase()
+    for x in range(width):
+        for y in range(height):
+            if x + 1 < width:
+                graph.add_edge((x, y), right_label, (x + 1, y))
+            if y + 1 < height:
+                graph.add_edge((x, y), down_label, (x, y + 1))
+    return graph
+
+
+def two_lane_road(length, labels=("a", "b"), bridge_label="x"):
+    """Two parallel labeled paths with bridges between them.
+
+    Produces many distinct simple paths between the endpoints, a stress
+    shape for the a-inj/q-inj evaluators.
+    """
+    graph = GraphDatabase()
+    for lane, label in enumerate(labels):
+        nodes = [("lane", lane, i) for i in range(length + 1)]
+        graph.add_path(nodes, [label] * length)
+    for i in range(length + 1):
+        graph.add_edge(("lane", 0, i), bridge_label, ("lane", 1, i))
+        graph.add_edge(("lane", 1, i), bridge_label, ("lane", 0, i))
+    graph.add_edge(("src",), labels[0], ("lane", 0, 0))
+    graph.add_edge(("src",), labels[1], ("lane", 1, 0))
+    graph.add_edge(("lane", 0, length), labels[0], ("dst",))
+    graph.add_edge(("lane", 1, length), labels[1], ("dst",))
+    return graph
+
+
+def social_knowledge_graph(num_people=12, num_papers=8, seed=7):
+    """A small synthetic knowledge graph (people, papers, cities).
+
+    Edge labels: ``knows`` (person→person), ``wrote`` (person→paper),
+    ``cites`` (paper→paper), ``lives`` (person→city), ``near`` (city→city).
+    Mirrors the Wikidata-style workloads the paper cites as motivation.
+    """
+    rng = random.Random(seed)
+    graph = GraphDatabase()
+    people = [f"person{i}" for i in range(num_people)]
+    papers = [f"paper{i}" for i in range(num_papers)]
+    cities = ["bordeaux", "santiago", "paris", "valparaiso"]
+    for person in people:
+        graph.add_node(person)
+        graph.add_edge(person, "lives", rng.choice(cities))
+    for i in range(len(cities)):
+        graph.add_edge(cities[i], "near", cities[(i + 1) % len(cities)])
+    for person in people:
+        for friend in rng.sample(people, k=min(3, num_people)):
+            if friend != person:
+                graph.add_edge(person, "knows", friend)
+    for paper in papers:
+        for author in rng.sample(people, k=2):
+            graph.add_edge(author, "wrote", paper)
+    for paper in papers:
+        for cited in rng.sample(papers, k=min(2, num_papers)):
+            if cited != paper:
+                graph.add_edge(paper, "cites", cited)
+    return graph
+
+
+def figure2_graph():
+    """The graph database G of Figure 2 (Example 2.1), reconstructed.
+
+    The figure itself is not fully recoverable from the paper source, so we
+    use the smallest graph over nodes {u, v, w} witnessing exactly the
+    claims of Example 2.1 for Q(x,y) = x -(ab)*-> y ∧ y -c*-> x:
+
+    - (u, w) ∈ Q(G)a-inj  (simple ab-path u→v→w, simple cc-path w→v→u),
+    - (u, w) ∉ Q(G)q-inj  (both paths must pass through v internally),
+    - Q(G)st = Q(G)a-inj  (every relevant walk in G is already simple).
+
+    Edges: u -a-> v, v -b-> w, w -c-> v, v -c-> u.
+    """
+    graph = GraphDatabase()
+    graph.add_edge("u", "a", "v")
+    graph.add_edge("v", "b", "w")
+    graph.add_edge("w", "c", "v")
+    graph.add_edge("v", "c", "u")
+    return graph
+
+
+def figure2_graph_prime():
+    """The graph database G′ of Figure 2 (Example 2.1), reconstructed.
+
+    Witnesses the full three-way separation claimed in Example 2.1:
+
+    - (u, v) ∈ Q(G′)st: the walk u -a-> w -b-> t -a-> u -b-> v spells
+      abab ∈ (ab)* but revisits u, and v -c-> u closes the c* atom;
+    - (u, v) ∉ Q(G′)a-inj: no *simple* (ab)*-labeled path u ⇝ v exists;
+    - (p, r) ∈ Q(G′)a-inj \\ Q(G′)q-inj: a disjoint copy of the G gadget
+      (both atom paths must route through m internally).
+
+    Edges: u -a-> w, w -b-> t, t -a-> u, u -b-> v, v -c-> u, and
+    p -a-> m, m -b-> r, r -c-> m, m -c-> p.
+    """
+    graph = GraphDatabase()
+    graph.add_edge("u", "a", "w")
+    graph.add_edge("w", "b", "t")
+    graph.add_edge("t", "a", "u")
+    graph.add_edge("u", "b", "v")
+    graph.add_edge("v", "c", "u")
+    graph.add_edge("p", "a", "m")
+    graph.add_edge("m", "b", "r")
+    graph.add_edge("r", "c", "m")
+    graph.add_edge("m", "c", "p")
+    return graph

@@ -1,0 +1,199 @@
+"""The :class:`GraphDatabase` store.
+
+Nodes and labels are arbitrary hashable values.  Edges are triples
+``(source, label, target)``; parallel edges with distinct labels are
+allowed, duplicate triples are ignored (E is a *set*, per the paper).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Edge:
+    """A labeled edge u --a--> v."""
+
+    source: object
+    label: object
+    target: object
+
+    def __str__(self):
+        return f"{self.source} -{self.label}-> {self.target}"
+
+
+class GraphDatabase:
+    """A finite edge-labeled directed graph G = (V, E) over alphabet A."""
+
+    def __init__(self, nodes=(), edges=()):
+        self._nodes = set()
+        self._edges = set()
+        self._out = defaultdict(set)   # node -> set of Edge
+        self._in = defaultdict(set)    # node -> set of Edge
+        self._by_label = defaultdict(set)
+        for node in nodes:
+            self.add_node(node)
+        for edge in edges:
+            if isinstance(edge, Edge):
+                self.add_edge(edge.source, edge.label, edge.target)
+            else:
+                source, label, target = edge
+                self.add_edge(source, label, target)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def add_node(self, node):
+        """Add an isolated node (no-op if present)."""
+        self._nodes.add(node)
+        return node
+
+    def add_edge(self, source, label, target):
+        """Add the edge ``source -label-> target`` (and its endpoints)."""
+        edge = Edge(source, label, target)
+        if edge in self._edges:
+            return edge
+        self._nodes.add(source)
+        self._nodes.add(target)
+        self._edges.add(edge)
+        self._out[source].add(edge)
+        self._in[target].add(edge)
+        self._by_label[label].add(edge)
+        return edge
+
+    def add_path(self, nodes, labels):
+        """Add a path through ``nodes`` with the given edge ``labels``."""
+        nodes = list(nodes)
+        labels = list(labels)
+        if len(labels) != len(nodes) - 1:
+            raise ValueError("need exactly one label per consecutive node pair")
+        for (source, target), label in zip(zip(nodes, nodes[1:]), labels):
+            self.add_edge(source, label, target)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def nodes(self):
+        """The frozen set of nodes."""
+        return frozenset(self._nodes)
+
+    @property
+    def edges(self):
+        """The frozen set of :class:`Edge` triples."""
+        return frozenset(self._edges)
+
+    @property
+    def alphabet(self):
+        """The set of labels appearing on edges."""
+        return frozenset(self._by_label)
+
+    def node_count(self):
+        return len(self._nodes)
+
+    def edge_count(self):
+        return len(self._edges)
+
+    def out_edges(self, node):
+        """Edges leaving ``node``."""
+        return self._out.get(node, frozenset())
+
+    def in_edges(self, node):
+        """Edges entering ``node``."""
+        return self._in.get(node, frozenset())
+
+    def edges_with_label(self, label):
+        """Edges carrying ``label``."""
+        return self._by_label.get(label, frozenset())
+
+    def has_edge(self, source, label, target):
+        return Edge(source, label, target) in self._edges
+
+    def successors(self, node, label=None):
+        """Targets of edges leaving ``node`` (optionally filtered by label)."""
+        return {
+            edge.target
+            for edge in self.out_edges(node)
+            if label is None or edge.label == label
+        }
+
+    def predecessors(self, node, label=None):
+        """Sources of edges entering ``node`` (optionally filtered by label)."""
+        return {
+            edge.source
+            for edge in self.in_edges(node)
+            if label is None or edge.label == label
+        }
+
+    # ------------------------------------------------------------------
+    # Transformation
+    # ------------------------------------------------------------------
+
+    def copy(self):
+        """Return an independent copy."""
+        return GraphDatabase(self._nodes, self._edges)
+
+    def rename_nodes(self, mapping):
+        """Return a copy with nodes renamed through ``mapping``.
+
+        This implements quotients: mapping several nodes to one value merges
+        them (used for a-inj-expansion construction, §4.1).
+        """
+        renamed = GraphDatabase()
+        for node in self._nodes:
+            renamed.add_node(mapping.get(node, node))
+        for edge in self._edges:
+            renamed.add_edge(
+                mapping.get(edge.source, edge.source),
+                edge.label,
+                mapping.get(edge.target, edge.target),
+            )
+        return renamed
+
+    def induced_subgraph(self, keep_nodes):
+        """Return the subgraph induced by ``keep_nodes``."""
+        keep = set(keep_nodes)
+        sub = GraphDatabase()
+        for node in keep:
+            if node in self._nodes:
+                sub.add_node(node)
+        for edge in self._edges:
+            if edge.source in keep and edge.target in keep:
+                sub.add_edge(edge.source, edge.label, edge.target)
+        return sub
+
+    def disjoint_union(self, other, tag_self="L", tag_other="R"):
+        """Return the disjoint union with nodes tagged apart."""
+        result = GraphDatabase()
+        for node in self._nodes:
+            result.add_node((tag_self, node))
+        for node in other._nodes:
+            result.add_node((tag_other, node))
+        for edge in self._edges:
+            result.add_edge((tag_self, edge.source), edge.label, (tag_self, edge.target))
+        for edge in other._edges:
+            result.add_edge(
+                (tag_other, edge.source), edge.label, (tag_other, edge.target)
+            )
+        return result
+
+    def __eq__(self, other):
+        if not isinstance(other, GraphDatabase):
+            return NotImplemented
+        return self._nodes == other._nodes and self._edges == other._edges
+
+    def __hash__(self):
+        return hash((frozenset(self._nodes), frozenset(self._edges)))
+
+    def __repr__(self):
+        return f"GraphDatabase(nodes={len(self._nodes)}, edges={len(self._edges)})"
+
+    def pretty(self):
+        """Return a deterministic multi-line rendering (for examples)."""
+        lines = [f"GraphDatabase with {len(self._nodes)} nodes, {len(self._edges)} edges"]
+        for edge in sorted(self._edges, key=lambda e: (repr(e.source), repr(e.label), repr(e.target))):
+            lines.append(f"  {edge}")
+        return "\n".join(lines)

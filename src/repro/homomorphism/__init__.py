@@ -1,0 +1,27 @@
+"""Homomorphism engine.
+
+Backtracking search for homomorphisms from CQs to graph databases (and to
+other CQs), in the variants the paper needs:
+
+- plain homomorphisms ``Q → (G, v̄)``,
+- injective homomorphisms ``Q --inj--> (G, v̄)`` (§2),
+- homomorphisms with arbitrary disequality constraints, which subsume the
+  atom-injective homomorphisms of §2.2 (inequalities exactly on the
+  φ-atom-related variable pairs).
+"""
+
+from repro.homomorphism.matcher import (
+    find_homomorphism,
+    homomorphisms,
+    has_homomorphism,
+    cq_homomorphisms,
+    has_cq_homomorphism,
+)
+
+__all__ = [
+    "find_homomorphism",
+    "homomorphisms",
+    "has_homomorphism",
+    "cq_homomorphisms",
+    "has_cq_homomorphism",
+]

@@ -1,0 +1,162 @@
+"""Backtracking homomorphism search (CQ → graph, CQ → CQ).
+
+The search is a standard CSP: variables are query variables, domains are
+graph nodes, constraints are the atoms (edges must exist), plus optional
+injectivity or pairwise-disequality constraints.  We use arc-consistent
+domain seeding and most-constrained-variable ordering; worst-case behavior
+is exponential, as it must be (evaluation is NP-complete, Prop 3.1).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+
+def _initial_domains(cq, graph, assignment):
+    """Seed per-variable candidate domains from label adjacency."""
+    nodes = graph.nodes
+    domains = {}
+    sources_by_label = defaultdict(set)
+    targets_by_label = defaultdict(set)
+    for edge in graph.edges:
+        sources_by_label[edge.label].add(edge.source)
+        targets_by_label[edge.label].add(edge.target)
+    for variable in cq.variables:
+        if variable in assignment:
+            domains[variable] = {assignment[variable]} & set(nodes)
+        else:
+            domains[variable] = set(nodes)
+    for atom in cq.atoms:
+        domains[atom.source] &= sources_by_label.get(atom.label, set())
+        domains[atom.target] &= targets_by_label.get(atom.label, set())
+        if atom.source == atom.target:
+            loops = {
+                edge.source
+                for edge in graph.edges_with_label(atom.label)
+                if edge.source == edge.target
+            }
+            domains[atom.source] &= loops
+    return domains
+
+
+def homomorphisms(cq, graph, target_tuple=None, injective=False,
+                  distinct_pairs=frozenset(), fixed=None):
+    """Yield homomorphisms h : cq → (graph, target_tuple) as dicts.
+
+    - ``target_tuple``: forces ``h(head[i]) = target_tuple[i]`` (the paper's
+      ``Q → (G, v̄)``); inconsistent repetitions yield nothing.
+    - ``injective``: require h globally injective (``Q --inj--> G``).
+    - ``distinct_pairs``: iterable of variable pairs that must map to
+      distinct nodes (used for atom-injective homomorphisms).
+    - ``fixed``: extra forced partial assignment (dict variable → node).
+    """
+    assignment = dict(fixed or {})
+    if target_tuple is not None:
+        if len(target_tuple) != len(cq.head):
+            raise ValueError("target tuple arity mismatch")
+        for variable, node in zip(cq.head, target_tuple):
+            if variable in assignment and assignment[variable] != node:
+                return
+            assignment[variable] = node
+    if injective:
+        values = [assignment[v] for v in assignment]
+        if len(set(values)) != len(values):
+            return
+
+    domains = _initial_domains(cq, graph, assignment)
+    if any(not domain for domain in domains.values()):
+        return
+
+    neighbours = defaultdict(list)   # var -> list of (atom, is_source)
+    for atom in cq.atoms:
+        neighbours[atom.source].append((atom, True))
+        neighbours[atom.target].append((atom, False))
+
+    distinct = defaultdict(set)
+    for x, y in distinct_pairs:
+        if x == y:
+            return  # unsatisfiable: a variable cannot differ from itself
+        distinct[x].add(y)
+        distinct[y].add(x)
+
+    variables = sorted(cq.variables, key=repr)
+    solution = {}
+
+    def consistent(variable, node):
+        if injective:
+            for other, value in solution.items():
+                if other != variable and value == node:
+                    return False
+        for other in distinct.get(variable, ()):
+            if solution.get(other) == node:
+                return False
+        for atom, is_source in neighbours[variable]:
+            other = atom.target if is_source else atom.source
+            if other == variable:
+                if not graph.has_edge(node, atom.label, node):
+                    return False
+                continue
+            if other in solution:
+                if is_source:
+                    if not graph.has_edge(node, atom.label, solution[other]):
+                        return False
+                else:
+                    if not graph.has_edge(solution[other], atom.label, node):
+                        return False
+        return True
+
+    def search(remaining):
+        if not remaining:
+            yield dict(solution)
+            return
+        # Most-constrained-variable heuristic.
+        variable = min(remaining, key=lambda v: (len(domains[v]), repr(v)))
+        rest = [v for v in remaining if v != variable]
+        for node in sorted(domains[variable], key=repr):
+            if not consistent(variable, node):
+                continue
+            solution[variable] = node
+            yield from search(rest)
+            del solution[variable]
+
+    yield from search(variables)
+
+
+def find_homomorphism(cq, graph, target_tuple=None, injective=False,
+                      distinct_pairs=frozenset(), fixed=None):
+    """Return one homomorphism (dict) or ``None``."""
+    for hom in homomorphisms(cq, graph, target_tuple, injective,
+                             distinct_pairs, fixed):
+        return hom
+    return None
+
+
+def has_homomorphism(cq, graph, target_tuple=None, injective=False,
+                     distinct_pairs=frozenset(), fixed=None):
+    """Decide existence of a homomorphism."""
+    return find_homomorphism(cq, graph, target_tuple, injective,
+                             distinct_pairs, fixed) is not None
+
+
+def cq_homomorphisms(source_cq, target_cq, injective=False,
+                     distinct_pairs=frozenset()):
+    """Yield homomorphisms between CQs (free vars map positionally, §2).
+
+    ``h : Q1 → Q2`` iff ``h : Q1 → (G2, x̄2)`` where G2 is Q2 viewed as a
+    graph database and x̄2 its free-variable tuple.
+    """
+    yield from homomorphisms(
+        source_cq,
+        target_cq.as_graph(),
+        target_tuple=target_cq.head,
+        injective=injective,
+        distinct_pairs=distinct_pairs,
+    )
+
+
+def has_cq_homomorphism(source_cq, target_cq, injective=False,
+                        distinct_pairs=frozenset()):
+    """Decide Q1 → Q2 (or Q1 --inj--> Q2 with ``injective=True``)."""
+    for _ in cq_homomorphisms(source_cq, target_cq, injective, distinct_pairs):
+        return True
+    return False

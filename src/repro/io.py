@@ -1,0 +1,203 @@
+"""Serialization: graphs and queries to/from JSON-compatible dicts.
+
+Downstream users need to persist databases, queries and containment
+witnesses (e.g. to ship counterexamples into bug reports).  Labels and
+nodes may be strings, numbers, or (nested) tuples — tuples are encoded as
+tagged lists so round-trips are exact.
+
+Regexes are serialized as their AST; the text parser is *not* used for
+round-trips because generated alphabets (tuples like ``("I", 3)``) have no
+text syntax.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.graphdb.graph import GraphDatabase
+from repro.queries.atoms import Atom
+from repro.queries.crpq import CRPQ
+from repro.regular.syntax import (
+    Concat,
+    Empty,
+    Epsilon,
+    Optional,
+    Plus,
+    Regex,
+    Star,
+    Symbol,
+    Union,
+)
+
+
+# ----------------------------------------------------------------------
+# Values (nodes / labels): tuples are tagged to survive JSON lists
+# ----------------------------------------------------------------------
+
+
+def encode_value(value):
+    """Encode a node/label value (str, int, bool, None, nested tuple)."""
+    if isinstance(value, tuple):
+        return {"t": [encode_value(item) for item in value]}
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise TypeError(f"unsupported value for serialization: {value!r}")
+
+
+def decode_value(data):
+    """Inverse of :func:`encode_value`."""
+    if isinstance(data, dict):
+        if set(data) != {"t"}:
+            raise ValueError(f"malformed value payload: {data!r}")
+        return tuple(decode_value(item) for item in data["t"])
+    return data
+
+
+# ----------------------------------------------------------------------
+# Graphs
+# ----------------------------------------------------------------------
+
+
+def graph_to_dict(graph):
+    """Serialize a :class:`GraphDatabase`."""
+    return {
+        "nodes": sorted((encode_value(n) for n in graph.nodes), key=repr),
+        "edges": sorted(
+            (
+                [encode_value(e.source), encode_value(e.label),
+                 encode_value(e.target)]
+                for e in graph.edges
+            ),
+            key=repr,
+        ),
+    }
+
+
+def graph_from_dict(data):
+    """Deserialize a :class:`GraphDatabase`."""
+    graph = GraphDatabase()
+    for node in data.get("nodes", []):
+        graph.add_node(decode_value(node))
+    for source, label, target in data.get("edges", []):
+        graph.add_edge(decode_value(source), decode_value(label),
+                       decode_value(target))
+    return graph
+
+
+# ----------------------------------------------------------------------
+# Regexes
+# ----------------------------------------------------------------------
+
+_REGEX_KINDS = {
+    "empty": Empty,
+    "epsilon": Epsilon,
+}
+
+
+def regex_to_dict(regex):
+    """Serialize a regex AST."""
+    if isinstance(regex, Empty):
+        return {"kind": "empty"}
+    if isinstance(regex, Epsilon):
+        return {"kind": "epsilon"}
+    if isinstance(regex, Symbol):
+        return {"kind": "symbol", "label": encode_value(regex.label)}
+    if isinstance(regex, Concat):
+        return {"kind": "concat", "left": regex_to_dict(regex.left),
+                "right": regex_to_dict(regex.right)}
+    if isinstance(regex, Union):
+        return {"kind": "union", "left": regex_to_dict(regex.left),
+                "right": regex_to_dict(regex.right)}
+    if isinstance(regex, Star):
+        return {"kind": "star", "inner": regex_to_dict(regex.inner)}
+    if isinstance(regex, Plus):
+        return {"kind": "plus", "inner": regex_to_dict(regex.inner)}
+    if isinstance(regex, Optional):
+        return {"kind": "optional", "inner": regex_to_dict(regex.inner)}
+    raise TypeError(f"unknown regex node: {regex!r}")
+
+
+def regex_from_dict(data):
+    """Deserialize a regex AST."""
+    kind = data["kind"]
+    if kind in _REGEX_KINDS:
+        return _REGEX_KINDS[kind]()
+    if kind == "symbol":
+        return Symbol(decode_value(data["label"]))
+    if kind in ("concat", "union"):
+        cls = Concat if kind == "concat" else Union
+        return cls(regex_from_dict(data["left"]), regex_from_dict(data["right"]))
+    if kind in ("star", "plus", "optional"):
+        cls = {"star": Star, "plus": Plus, "optional": Optional}[kind]
+        return cls(regex_from_dict(data["inner"]))
+    raise ValueError(f"unknown regex kind: {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Queries
+# ----------------------------------------------------------------------
+
+
+def query_to_dict(query):
+    """Serialize a CRPQ (CQs: convert with ``.to_crpq()`` first)."""
+    return {
+        "head": [encode_value(v) for v in query.head],
+        "variables": sorted((encode_value(v) for v in query.variables),
+                            key=repr),
+        "atoms": [
+            {
+                "source": encode_value(atom.source),
+                "language": regex_to_dict(atom.language),
+                "target": encode_value(atom.target),
+            }
+            for atom in query.atoms
+        ],
+    }
+
+
+def query_from_dict(data):
+    """Deserialize a CRPQ."""
+    atoms = tuple(
+        Atom(
+            decode_value(entry["source"]),
+            regex_from_dict(entry["language"]),
+            decode_value(entry["target"]),
+        )
+        for entry in data.get("atoms", [])
+    )
+    return CRPQ(
+        tuple(decode_value(v) for v in data.get("head", [])),
+        atoms,
+        extra_variables=[decode_value(v) for v in data.get("variables", [])],
+    )
+
+
+# ----------------------------------------------------------------------
+# JSON convenience wrappers
+# ----------------------------------------------------------------------
+
+
+def dumps(obj):
+    """Serialize a GraphDatabase, CRPQ, or Regex to a JSON string."""
+    if isinstance(obj, GraphDatabase):
+        payload = {"type": "graph", "data": graph_to_dict(obj)}
+    elif isinstance(obj, CRPQ):
+        payload = {"type": "query", "data": query_to_dict(obj)}
+    elif isinstance(obj, Regex):
+        payload = {"type": "regex", "data": regex_to_dict(obj)}
+    else:
+        raise TypeError(f"cannot serialize {obj!r}")
+    return json.dumps(payload, sort_keys=True)
+
+
+def loads(text):
+    """Inverse of :func:`dumps`."""
+    payload = json.loads(text)
+    decoders = {
+        "graph": graph_from_dict,
+        "query": query_from_dict,
+        "regex": regex_from_dict,
+    }
+    if payload.get("type") not in decoders:
+        raise ValueError(f"unknown payload type: {payload.get('type')!r}")
+    return decoders[payload["type"]](payload["data"])

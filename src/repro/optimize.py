@@ -1,0 +1,130 @@
+"""Query optimization helpers built on the containment deciders.
+
+Containment is the paper's motivation for static analysis (§1/§4): it
+licenses rewrites.  This module packages the classic applications:
+
+- :func:`equivalent` — two-sided containment under a chosen semantics;
+- :func:`remove_redundant_atoms` — greedy atom elimination, sound under
+  the chosen semantics (an atom is redundant iff dropping it preserves
+  equivalence — which the paper shows is semantics-dependent: see the
+  optimizer_audit example, where the same rewrite is sound under st and
+  unsound under a-inj);
+- :func:`cq_core` — the classical core of a CQ (Chandra–Merlin): the
+  smallest equivalent retract under *standard* semantics.  Under the
+  injective semantics queries are **not** equivalent to their cores in
+  general — folding variables changes injective answers — which
+  :func:`core_is_unsound_example` demonstrates.
+"""
+
+from __future__ import annotations
+
+from repro.containment.api import contains
+from repro.containment.result import Verdict
+from repro.homomorphism.matcher import homomorphisms
+from repro.queries.cq import CQ
+from repro.queries.crpq import CRPQ
+from repro.semantics.base import Semantics
+
+
+def equivalent(q1, q2, semantics, **options):
+    """Decide Q1 ≡★ Q2 (both containments).
+
+    Returns ``(verdict_bool_or_None, forward_result, backward_result)``;
+    the first item is ``None`` when either direction is only bounded
+    (undecidable cell).
+    """
+    forward = contains(q1, q2, semantics, **options)
+    backward = contains(q2, q1, semantics, **options)
+    if not forward.conclusive or not backward.conclusive:
+        decided = None
+    else:
+        decided = (
+            forward.verdict is Verdict.CONTAINED
+            and backward.verdict is Verdict.CONTAINED
+        )
+    return decided, forward, backward
+
+
+def remove_redundant_atoms(query, semantics, **options):
+    """Greedily drop atoms whose removal preserves ★-equivalence.
+
+    Returns ``(smaller_query, removed_atom_list)``.  Every removal is
+    certified by the exact deciders; atoms whose removal cannot be
+    *conclusively* certified (bounded verdicts on undecidable cells) are
+    kept — the result is always sound.
+
+    Only atoms whose variables remain in the query (or are free) can be
+    dropped without changing the variable set's role; dropping an atom
+    never removes a free variable because free variables stay declared.
+    """
+    semantics = Semantics.coerce(semantics)
+    current = query if isinstance(query, CRPQ) else query.to_crpq()
+    removed = []
+    changed = True
+    while changed:
+        changed = False
+        for index in range(len(current.atoms)):
+            candidate_atoms = (
+                current.atoms[:index] + current.atoms[index + 1:]
+            )
+            candidate = CRPQ(
+                current.head, candidate_atoms,
+                extra_variables=current.variables,
+            )
+            decided, _f, _b = equivalent(current, candidate, semantics,
+                                         **options)
+            if decided:
+                removed.append(current.atoms[index])
+                current = candidate
+                changed = True
+                break
+    return current, removed
+
+
+def cq_core(cq):
+    """Compute the core of a CQ: a minimal retract equivalent under
+    standard semantics (Chandra–Merlin).
+
+    Iteratively searches for a proper endomorphism (a homomorphism of the
+    CQ into itself, fixing the free variables positionally, whose image
+    is a proper subset of the variables) and retracts onto its image.
+    """
+    current = cq
+    while True:
+        retraction = _proper_retraction(current)
+        if retraction is None:
+            return current
+        current = current.rename(retraction)
+
+
+def _proper_retraction(cq):
+    graph = cq.as_graph()
+    variables = sorted(cq.variables, key=repr)
+    for hom in homomorphisms(cq, graph, target_tuple=cq.head):
+        image = set(hom.values())
+        if len(image) < len(variables):
+            # Convert the endomorphism into an idempotent retraction by
+            # iterating it |vars| times (standard trick).
+            mapping = {v: v for v in variables}
+            for _ in range(len(variables)):
+                mapping = {v: hom.get(mapping[v], mapping[v])
+                           for v in variables}
+            return mapping
+    return None
+
+
+def core_is_unsound_example():
+    """Return (Q, core(Q), graph G) witnessing that core-minimization is
+    unsound under query-injective semantics.
+
+    Q() = x -a-> y ∧ x' -a-> y' has core x -a-> y (fold the copy), and
+    over a single-edge graph the core answers () under q-inj while Q does
+    not (it needs four distinct nodes).
+    """
+    from repro.graphdb.graph import GraphDatabase
+    from repro.queries.atoms import CQAtom
+
+    query = CQ((), [CQAtom("x", "a", "y"), CQAtom("u", "a", "v")])
+    core = cq_core(query)
+    graph = GraphDatabase(edges=[("n1", "a", "n2")])
+    return query, core, graph

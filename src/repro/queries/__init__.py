@@ -1,0 +1,22 @@
+"""Query model: CQs, CRPQs, equality atoms, query classes, ε-elimination.
+
+Follows §2 of the paper: a CRPQ ``Q(x1..xn) = A1 ∧ ... ∧ Am`` with atoms
+``x -[L]-> y`` for regular languages L; CQs are the single-symbol special
+case and can be viewed as graph databases.
+"""
+
+from repro.queries.atoms import Atom, CQAtom
+from repro.queries.cq import CQ, CQWithEqualities
+from repro.queries.crpq import CRPQ, QueryClass, union_of
+from repro.queries.parser import parse_query
+
+__all__ = [
+    "Atom",
+    "CQAtom",
+    "CQ",
+    "CQWithEqualities",
+    "CRPQ",
+    "QueryClass",
+    "union_of",
+    "parse_query",
+]

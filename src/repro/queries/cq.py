@@ -1,0 +1,167 @@
+"""Conjunctive queries, with and without equality atoms.
+
+A CQ ``Q(x1..xn) = A1 ∧ ... ∧ Am`` has single-label atoms; the free-variable
+tuple may repeat variables (§2).  A CQ can be viewed as a graph database
+(each atom is an edge), which the paper uses constantly: expansions are CQs,
+counterexamples are CQs-as-databases.
+
+:class:`CQWithEqualities` adds equality atoms ``x = y``; ``collapse`` builds
+the equivalent plain CQ together with the canonical renaming Φ (§2).
+"""
+
+from __future__ import annotations
+
+from repro.graphdb.graph import GraphDatabase
+from repro.queries.atoms import CQAtom
+
+
+class CQ:
+    """A conjunctive query over a finite alphabet of edge labels."""
+
+    def __init__(self, head, atoms, extra_variables=()):
+        """``head`` is the tuple of free variables (repetitions allowed);
+        ``extra_variables`` declares variables used in no atom (rare but
+        legal, e.g. an isolated free variable)."""
+        self.head = tuple(head)
+        self.atoms = tuple(atoms)
+        variables = set(self.head) | set(extra_variables)
+        for atom in self.atoms:
+            if not isinstance(atom, CQAtom):
+                raise TypeError(f"CQ atoms must be CQAtom, got {atom!r}")
+            variables.add(atom.source)
+            variables.add(atom.target)
+        self._variables = frozenset(variables)
+
+    @property
+    def variables(self):
+        """vars(Q): every variable appearing in the query."""
+        return self._variables
+
+    def is_boolean(self):
+        return not self.head
+
+    @property
+    def alphabet(self):
+        return frozenset(atom.label for atom in self.atoms)
+
+    def as_graph(self):
+        """View the CQ as a graph database (variables become nodes)."""
+        return GraphDatabase(nodes=self._variables,
+                             edges=[(a.source, a.label, a.target) for a in self.atoms])
+
+    def rename(self, mapping):
+        """Rename variables through ``mapping`` (identifications allowed)."""
+        return CQ(
+            tuple(mapping.get(v, v) for v in self.head),
+            tuple(atom.rename(mapping) for atom in self.atoms),
+            extra_variables=[mapping.get(v, v) for v in self._variables],
+        )
+
+    def to_crpq(self):
+        """Embed into the CRPQ class (singleton languages)."""
+        from repro.queries.crpq import CRPQ
+
+        return CRPQ(self.head, tuple(atom.to_crpq_atom() for atom in self.atoms),
+                    extra_variables=self._variables)
+
+    def conjoin(self, other, head=None):
+        """Conjunction of two CQs (variables shared by name)."""
+        new_head = self.head + other.head if head is None else tuple(head)
+        return CQ(new_head, self.atoms + other.atoms,
+                  extra_variables=self._variables | other._variables)
+
+    def __eq__(self, other):
+        if not isinstance(other, CQ):
+            return NotImplemented
+        return (self.head == other.head
+                and set(self.atoms) == set(other.atoms)
+                and self._variables == other._variables)
+
+    def __hash__(self):
+        return hash((self.head, frozenset(self.atoms), self._variables))
+
+    def __str__(self):
+        body = " ∧ ".join(str(atom) for atom in self.atoms) or "⊤"
+        return f"Q({', '.join(map(str, self.head))}) = {body}"
+
+    def __repr__(self):
+        return f"CQ(head={self.head!r}, atoms={len(self.atoms)})"
+
+
+class CQWithEqualities:
+    """A CQ with equality atoms: Q(x̄) = P ∧ I, I a conjunction of x = y.
+
+    ``collapse()`` returns the equivalent plain CQ ``Q≡`` obtained by
+    collapsing each =Q-equivalence class, plus the canonical renaming Φ
+    mapping each variable to its class representative.
+    """
+
+    def __init__(self, head, atoms, equalities, extra_variables=()):
+        self.head = tuple(head)
+        self.atoms = tuple(atoms)
+        self.equalities = tuple(tuple(pair) for pair in equalities)
+        variables = set(self.head) | set(extra_variables)
+        for atom in self.atoms:
+            variables.add(atom.source)
+            variables.add(atom.target)
+        for x, y in self.equalities:
+            variables.add(x)
+            variables.add(y)
+        self._variables = frozenset(variables)
+
+    @property
+    def variables(self):
+        return self._variables
+
+    def equivalence_classes(self):
+        """The partition of vars(Q) induced by the equality atoms (=Q)."""
+        parent = {v: v for v in self._variables}
+
+        def find(v):
+            root = v
+            while parent[root] != root:
+                root = parent[root]
+            while parent[v] != root:
+                parent[v], v = root, parent[v]
+            return root
+
+        for x, y in self.equalities:
+            rx, ry = find(x), find(y)
+            if rx != ry:
+                parent[ry] = rx
+        classes = {}
+        for v in self._variables:
+            classes.setdefault(find(v), set()).add(v)
+        return list(classes.values())
+
+    def collapse(self, representative=min):
+        """Return ``(Q≡, Φ)``.
+
+        ``representative`` picks the class representative; the default is
+        ``min`` over the repr-sorted members, which keeps output
+        deterministic.  Φ is a dict var → representative.
+        """
+        phi = {}
+        for cls in self.equivalence_classes():
+            rep = representative(cls, key=repr) if representative is min else representative(cls)
+            for member in cls:
+                phi[member] = rep
+        collapsed = CQ(
+            tuple(phi[v] for v in self.head),
+            tuple(atom.rename(phi) for atom in self.atoms),
+            extra_variables={phi[v] for v in self._variables},
+        )
+        return collapsed, phi
+
+    def forces_equal(self, x, y):
+        """True iff x =Q y (forced by the equality atoms)."""
+        for cls in self.equivalence_classes():
+            if x in cls:
+                return y in cls
+        return x == y
+
+    def __str__(self):
+        parts = [str(atom) for atom in self.atoms]
+        parts += [f"{x} = {y}" for x, y in self.equalities]
+        body = " ∧ ".join(parts) or "⊤"
+        return f"Q({', '.join(map(str, self.head))}) = {body}"

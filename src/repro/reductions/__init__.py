@@ -1,0 +1,19 @@
+"""Executable hardness reductions from the paper.
+
+- :mod:`repro.reductions.subgraph_iso` — Prop 3.1: subgraph isomorphism →
+  evaluation under injective semantics (NP-hardness of evaluation).
+- :mod:`repro.reductions.pcp` — Theorem 5.2: PCP → atom-injective
+  containment (undecidability), plus a brute-force PCP solver.
+- :mod:`repro.reductions.gcp2` — Theorem 6.1: Generalized Two-Coloring →
+  query-injective CRPQfin/CQ containment (Π2p-hardness), plus a
+  brute-force GCP2 solver.
+- :mod:`repro.reductions.qbf` — Theorem 6.2: ∀∃-QBF → atom-injective
+  CQ/CRPQfin containment (Π2p-hardness), plus a brute-force QBF solver.
+
+Each reduction is validated in the test suite against its brute-force
+reference on small instances — the paper's lower bounds, made executable.
+"""
+
+from repro.reductions import gcp2, pcp, qbf, subgraph_iso
+
+__all__ = ["subgraph_iso", "pcp", "gcp2", "qbf"]

@@ -1,0 +1,156 @@
+"""Theorem 6.1: Generalized Two-Coloring (GCP2) → query-injective
+CRPQfin/CQ containment (Π2p-hardness).
+
+GCP2: given an undirected graph G and n (in unary), is there a partition
+V1 ∪̇ V2 of V(G) such that neither induced subgraph contains an n-clique?
+
+The reduction produces Boolean queries Q1 (languages are unions of single
+letters, so Q1 ∈ CRPQfin) and Q2 (a CQ) over alphabet {E, 1, 2, #} with
+Q1 ⊈q-inj Q2 iff the GCP2 instance is positive:
+
+- Q1 = (12)-ext(Q_G)  --#-->  (1+2)-ext(Q_G)  --#-->  (12)-ext(Q_G):
+  three copies of the symmetric edge encoding Q_G of G, where the outer
+  copies carry both a 1-loop and a 2-loop on every variable and the middle
+  copy carries a (1+2)-loop (the expansion's choice of loop letter is the
+  partition); thick # arrows add an atom x -#-> y from every variable of
+  the source copy to every variable of the target copy.
+- Q2 = 1-ext(K_n) --#--> 2-ext(K_n): the n-clique with a 1-loop on every
+  variable, #-connected to the n-clique with 2-loops.
+
+An expansion of Q1 fixes an i-loop per middle-copy node, i.e. a partition
+V1 ∪̇ V2.  An injective homomorphism from Q2 must embed the 1-looped
+clique and the 2-looped clique; the outer (12)-ext copies (which carry
+both loops) absorb one of the two cliques, so Q2 embeds iff the *other*
+clique embeds into the middle copy's chosen side — i.e. iff the partition
+has a monochromatic n-clique.  Hence a counterexample expansion exists
+iff some partition avoids the n-clique on both sides.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.queries.atoms import Atom, CQAtom
+from repro.queries.cq import CQ
+from repro.queries.crpq import CRPQ
+from repro.regular.syntax import Symbol, union
+
+LABEL_EDGE = "E"
+LABEL_ONE = "1"
+LABEL_TWO = "2"
+LABEL_HASH = "#"
+
+
+# ----------------------------------------------------------------------
+# The GCP2 problem and its brute-force reference solver
+# ----------------------------------------------------------------------
+
+
+def has_clique(undirected_edges, vertices, n):
+    """True iff the undirected graph contains an n-vertex clique among
+    ``vertices``."""
+    if n <= 1:
+        return len(vertices) >= n
+    adjacency = {v: set() for v in vertices}
+    for u, v in undirected_edges:
+        if u in adjacency and v in adjacency:
+            adjacency[u].add(v)
+            adjacency[v].add(u)
+    for combo in itertools.combinations(sorted(vertices, key=repr), n):
+        if all(b in adjacency[a] for a, b in itertools.combinations(combo, 2)):
+            return True
+    return False
+
+
+def gcp2_brute_force(undirected_edges, vertices, n):
+    """Exact GCP2 by enumerating all 2^|V| partitions."""
+    vertices = sorted(set(vertices), key=repr)
+    edges = [tuple(edge) for edge in undirected_edges]
+    for assignment in itertools.product((1, 2), repeat=len(vertices)):
+        side1 = {v for v, side in zip(vertices, assignment) if side == 1}
+        side2 = set(vertices) - side1
+        if not has_clique(edges, side1, n) and not has_clique(edges, side2, n):
+            return dict(zip(vertices, assignment))
+    return None
+
+
+# ----------------------------------------------------------------------
+# Gadgets
+# ----------------------------------------------------------------------
+
+
+def _graph_atoms(undirected_edges, rename):
+    atoms = []
+    for u, v in undirected_edges:
+        atoms.append(Atom(rename(u), Symbol(LABEL_EDGE), rename(v)))
+        atoms.append(Atom(rename(v), Symbol(LABEL_EDGE), rename(u)))
+    return atoms
+
+
+def _loop_atoms(variables, loop_language):
+    return [Atom(v, loop_language, v) for v in variables]
+
+
+def _hash_atoms(sources, targets):
+    return [
+        Atom(s, Symbol(LABEL_HASH), t) for s in sorted(sources) for t in sorted(targets)
+    ]
+
+
+def build_q1(undirected_edges, vertices):
+    """Q1 over {E,1,2,#}: (12)-ext(Q_G) --#--> (1+2)-ext(Q_G) --#-->
+    (12)-ext(Q_G), Boolean, all languages single letters or 1+2."""
+    vertices = sorted(set(vertices), key=repr)
+    both = union(Symbol(LABEL_ONE), Symbol(LABEL_TWO))
+
+    def name(copy):
+        return lambda v: f"{copy}_{v}"
+
+    atoms = []
+    copies = {}
+    for copy in ("l", "m", "r"):
+        rename = name(copy)
+        copies[copy] = [rename(v) for v in vertices]
+        atoms.extend(_graph_atoms(undirected_edges, rename))
+    # Outer copies: both a 1-loop and a 2-loop per variable.
+    for copy in ("l", "r"):
+        atoms.extend(_loop_atoms(copies[copy], Symbol(LABEL_ONE)))
+        atoms.extend(_loop_atoms(copies[copy], Symbol(LABEL_TWO)))
+    # Middle copy: a (1+2)-loop per variable — the partition choice.
+    atoms.extend(_loop_atoms(copies["m"], both))
+    atoms.extend(_hash_atoms(copies["l"], copies["m"]))
+    atoms.extend(_hash_atoms(copies["m"], copies["r"]))
+    return CRPQ((), tuple(atoms))
+
+
+def build_q2(n):
+    """Q2 (a CQ): 1-ext(K_n) --#--> 2-ext(K_n), Boolean."""
+    atoms = []
+    left = [f"k1_{i}" for i in range(n)]
+    right = [f"k2_{i}" for i in range(n)]
+    for group, loop in ((left, LABEL_ONE), (right, LABEL_TWO)):
+        for x, y in itertools.combinations(group, 2):
+            atoms.append(CQAtom(x, LABEL_EDGE, y))
+            atoms.append(CQAtom(y, LABEL_EDGE, x))
+        for x in group:
+            atoms.append(CQAtom(x, loop, x))
+    for x in left:
+        for y in right:
+            atoms.append(CQAtom(x, LABEL_HASH, y))
+    return CQ((), atoms)
+
+
+def build_reduction(undirected_edges, vertices, n):
+    """Return (Q1, Q2) with Q1 ⊈q-inj Q2 iff GCP2(G, n) is positive."""
+    return build_q1(undirected_edges, vertices), build_q2(n)
+
+
+def triangle_instance():
+    """K3 with n=2: positive iff K3 can be 2-partitioned with no
+    monochromatic edge — it cannot (odd cycle), so GCP2 is negative."""
+    return [("a", "b"), ("b", "c"), ("a", "c")], ["a", "b", "c"], 2
+
+
+def path_instance():
+    """P3 (a path) with n=2: positive (bipartite)."""
+    return [("a", "b"), ("b", "c")], ["a", "b", "c"], 2

@@ -1,0 +1,68 @@
+"""Regular-language toolkit: regex ASTs, NFAs, DFAs, word enumeration.
+
+CRPQ atoms carry regular languages; every algorithm in the paper manipulates
+them as NFAs.  This subpackage is self-contained (no external automata
+libraries) and provides:
+
+- :mod:`repro.regular.syntax` — regex AST nodes and combinators,
+- :mod:`repro.regular.parser` — a parser for a small regex surface syntax,
+- :mod:`repro.regular.nfa` — Thompson-style NFAs and their operations,
+- :mod:`repro.regular.dfa` — determinization, complement, equivalence,
+- :mod:`repro.regular.words` — word membership/enumeration helpers.
+"""
+
+from repro.regular.syntax import (
+    Regex,
+    Empty,
+    Epsilon,
+    Symbol,
+    Concat,
+    Union,
+    Star,
+    Plus,
+    Optional,
+    concat,
+    union,
+    star,
+    plus,
+    optional,
+    symbol,
+    word,
+    from_words,
+)
+from repro.regular.parser import parse_regex
+from repro.regular.nfa import NFA
+from repro.regular.dfa import DFA
+from repro.regular.words import (
+    enumerate_words,
+    shortest_word,
+    language_is_finite,
+    language_words_if_finite,
+)
+
+__all__ = [
+    "Regex",
+    "Empty",
+    "Epsilon",
+    "Symbol",
+    "Concat",
+    "Union",
+    "Star",
+    "Plus",
+    "Optional",
+    "concat",
+    "union",
+    "star",
+    "plus",
+    "optional",
+    "symbol",
+    "word",
+    "from_words",
+    "parse_regex",
+    "NFA",
+    "DFA",
+    "enumerate_words",
+    "shortest_word",
+    "language_is_finite",
+    "language_words_if_finite",
+]

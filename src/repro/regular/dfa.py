@@ -1,0 +1,122 @@
+"""Deterministic finite automata: subset construction, complement,
+language comparisons.
+
+The containment deciders mostly work on NFAs directly, but complement and
+language-equivalence (used by tests and by the RPQ-containment baseline)
+need determinization.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.regular.nfa import NFA
+
+
+class DFA:
+    """A complete DFA over an explicit alphabet.
+
+    ``transitions`` maps ``(state, label) -> state`` and is total over
+    ``alphabet`` (a sink state is added during construction if needed).
+    """
+
+    def __init__(self, states, alphabet, transitions, initial, finals):
+        self.states = frozenset(states)
+        self.alphabet = frozenset(alphabet)
+        self.transitions = dict(transitions)
+        self.initial = initial
+        self.finals = frozenset(finals)
+
+    @staticmethod
+    def from_nfa(nfa, alphabet=None):
+        """Determinize ``nfa`` over ``alphabet`` (default: the NFA's own).
+
+        The result is complete: missing transitions go to the ∅ sink.
+        """
+        alphabet = frozenset(alphabet if alphabet is not None else nfa.alphabet)
+        initial = frozenset(nfa.initials)
+        states = {initial}
+        transitions = {}
+        queue = deque([initial])
+        while queue:
+            current = queue.popleft()
+            for label in alphabet:
+                nxt = nfa.step(current, label)
+                transitions[(current, label)] = nxt
+                if nxt not in states:
+                    states.add(nxt)
+                    queue.append(nxt)
+        finals = {state for state in states if state & nfa.finals}
+        return DFA(states, alphabet, transitions, initial, finals)
+
+    def accepts(self, word):
+        """Return ``True`` iff ``word`` is accepted."""
+        state = self.initial
+        for label in word:
+            if label not in self.alphabet:
+                return False
+            state = self.transitions[(state, label)]
+        return state in self.finals
+
+    def complement(self):
+        """Return the DFA for the complement language over ``alphabet``."""
+        return DFA(
+            self.states,
+            self.alphabet,
+            self.transitions,
+            self.initial,
+            self.states - self.finals,
+        )
+
+    def to_nfa(self):
+        """View this DFA as an NFA."""
+        transitions = {
+            (state, label): {target}
+            for (state, label), target in self.transitions.items()
+        }
+        return NFA(self.states, self.alphabet, transitions, {self.initial}, self.finals)
+
+    def is_empty(self):
+        """Return ``True`` iff no word is accepted."""
+        seen = {self.initial}
+        queue = deque([self.initial])
+        while queue:
+            state = queue.popleft()
+            if state in self.finals:
+                return False
+            for label in self.alphabet:
+                nxt = self.transitions[(state, label)]
+                if nxt not in seen:
+                    seen.add(nxt)
+                    queue.append(nxt)
+        return True
+
+
+def nfa_language_subset(left, right, alphabet=None):
+    """Decide L(left) ⊆ L(right) via product with the complement.
+
+    ``alphabet`` defaults to the union of both alphabets; this matters for
+    complements and matches the paper's convention that queries over a
+    finite alphabet A are compared over that same A.
+    """
+    if alphabet is None:
+        alphabet = left.alphabet | right.alphabet
+    right_dfa = DFA.from_nfa(right, alphabet)
+    co_right = right_dfa.complement().to_nfa()
+    return left.intersection(co_right).is_empty()
+
+
+def nfa_language_equal(left, right, alphabet=None):
+    """Decide L(left) = L(right)."""
+    return nfa_language_subset(left, right, alphabet) and nfa_language_subset(
+        right, left, alphabet
+    )
+
+
+def nfa_subset_counterexample(left, right, alphabet=None):
+    """Return a shortest word in L(left) \\ L(right), or ``None``."""
+    if alphabet is None:
+        alphabet = left.alphabet | right.alphabet
+    right_dfa = DFA.from_nfa(right, alphabet)
+    co_right = right_dfa.complement().to_nfa()
+    return left.intersection(co_right).shortest_word()

@@ -1,0 +1,131 @@
+"""Parser for a small regex surface syntax.
+
+Grammar (standard precedence: union < concat < closure)::
+
+    regex   := term ('+' term)*          # union, as in the paper's (a+b)
+    term    := factor factor*            # concatenation by juxtaposition
+    factor  := base ('*' | '+'? ...)     # closures; postfix '*' and '?'
+    base    := SYMBOL | '(' regex ')' | 'ε' | '∅'
+
+Symbols are single characters, or multi-character names wrapped in angle
+brackets ``<name>`` (useful for generated alphabets such as ``<I1>``,
+``<a_hat>``).  Whitespace is ignored.  Postfix ``+`` (positive closure)
+is written ``^+`` to avoid colliding with infix union, matching common
+database-theory typography where both appear; e.g. ``(ab)^+``.
+"""
+
+from repro.errors import RegexSyntaxError
+from repro.regular.syntax import (
+    Empty,
+    Epsilon,
+    concat,
+    optional,
+    plus,
+    star,
+    symbol,
+)
+
+
+class _Parser:
+    def __init__(self, text):
+        self.text = text
+        self.pos = 0
+
+    def error(self, message):
+        raise RegexSyntaxError(self.text, self.pos, message)
+
+    def peek(self):
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+        if self.pos >= len(self.text):
+            return None
+        return self.text[self.pos]
+
+    def take(self):
+        ch = self.peek()
+        if ch is not None:
+            self.pos += 1
+        return ch
+
+    def parse(self):
+        node = self.parse_union()
+        if self.peek() is not None:
+            self.error(f"unexpected character {self.peek()!r}")
+        return node
+
+    def parse_union(self):
+        node = self.parse_concat()
+        while self.peek() == "+":
+            self.take()
+            right = self.parse_concat()
+            node = node + right
+        return node
+
+    def parse_concat(self):
+        node = self.parse_postfix()
+        while self.peek() is not None and self.peek() not in ")+":
+            node = concat(node, self.parse_postfix())
+        return node
+
+    def parse_postfix(self):
+        node = self.parse_base()
+        while True:
+            ch = self.peek()
+            if ch == "*":
+                self.take()
+                node = star(node)
+            elif ch == "?":
+                self.take()
+                node = optional(node)
+            elif ch == "^":
+                self.take()
+                if self.peek() != "+":
+                    self.error("expected '+' after '^'")
+                self.take()
+                node = plus(node)
+            else:
+                return node
+
+    def parse_base(self):
+        ch = self.peek()
+        if ch is None:
+            self.error("unexpected end of input")
+        if ch == "(":
+            self.take()
+            node = self.parse_union()
+            if self.peek() != ")":
+                self.error("expected ')'")
+            self.take()
+            return node
+        if ch == "<":
+            self.take()
+            name = []
+            while self.peek() not in (">", None):
+                name.append(self.take())
+            if self.peek() != ">":
+                self.error("unterminated '<symbol>'")
+            self.take()
+            if not name:
+                self.error("empty '<>' symbol")
+            return symbol("".join(name))
+        if ch in ")*?^":
+            self.error(f"unexpected character {ch!r}")
+        if ch in ("ε", "e") and ch == "ε":
+            self.take()
+            return Epsilon()
+        if ch == "∅":
+            self.take()
+            return Empty()
+        self.take()
+        return symbol(ch)
+
+
+def parse_regex(text):
+    """Parse ``text`` into a :class:`repro.regular.syntax.Regex`.
+
+    >>> str(parse_regex("(ab)*"))
+    '(ab)*'
+    >>> parse_regex("(a+b)^+").nullable()
+    False
+    """
+    return _Parser(text).parse()

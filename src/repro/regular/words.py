@@ -1,0 +1,107 @@
+"""Word-level helpers over regexes/NFAs: enumeration, finiteness.
+
+The containment deciders for the ``CRPQfin`` fragments (Figure 1, middle
+columns) enumerate all words of the (finite) atom languages; the bounded
+semi-deciders enumerate words up to a length budget.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import SearchBudgetExceeded
+from repro.regular.nfa import NFA
+from repro.regular.syntax import Regex
+
+
+def _as_nfa(language):
+    if isinstance(language, NFA):
+        return language
+    if isinstance(language, Regex):
+        return NFA.from_regex(language)
+    raise TypeError(f"expected Regex or NFA, got {language!r}")
+
+
+def enumerate_words(language, max_length, max_words=None):
+    """Yield the words of ``language`` of length ≤ ``max_length``.
+
+    Words are produced in length-lexicographic order (deterministic).  If
+    ``max_words`` is given and exceeded, :class:`SearchBudgetExceeded` is
+    raised — enumeration of star languages grows exponentially.
+    """
+    nfa = _as_nfa(language)
+    labels = sorted(nfa.alphabet, key=repr)
+    produced = 0
+    queue = deque([(frozenset(nfa.initials), ())])
+    while queue:
+        states, word = queue.popleft()
+        if states & nfa.finals:
+            produced += 1
+            if max_words is not None and produced > max_words:
+                raise SearchBudgetExceeded(
+                    "word enumeration exceeded its budget", max_words
+                )
+            yield word
+        if len(word) >= max_length:
+            continue
+        for label in labels:
+            nxt = nfa.step(states, label)
+            if nxt:
+                queue.append((nxt, word + (label,)))
+
+
+def shortest_word(language):
+    """Return a shortest word of ``language`` or ``None`` if empty."""
+    return _as_nfa(language).shortest_word()
+
+
+def language_is_finite(language):
+    """Return ``True`` iff the language is finite.
+
+    A trimmed NFA has an infinite language iff it contains a cycle among
+    useful states.
+    """
+    nfa = _as_nfa(language).trim()
+    # Detect a cycle with an iterative DFS (three colours).
+    successors = {}
+    for (state, _label), targets in nfa.transitions.items():
+        successors.setdefault(state, set()).update(targets)
+    white = set(nfa.states)
+    grey = set()
+    black = set()
+    for root in list(nfa.states):
+        if root not in white:
+            continue
+        stack = [(root, iter(successors.get(root, ())))]
+        white.discard(root)
+        grey.add(root)
+        while stack:
+            state, iterator = stack[-1]
+            advanced = False
+            for nxt in iterator:
+                if nxt in grey:
+                    return False
+                if nxt in white:
+                    white.discard(nxt)
+                    grey.add(nxt)
+                    stack.append((nxt, iter(successors.get(nxt, ()))))
+                    advanced = True
+                    break
+            if not advanced:
+                stack.pop()
+                grey.discard(state)
+                black.add(state)
+    return True
+
+
+def language_words_if_finite(language, max_words=100000):
+    """Return the sorted list of all words of a finite language.
+
+    Raises ``ValueError`` for infinite languages.  The length bound is the
+    number of useful states (a longer accepted word would repeat a state
+    and witness a cycle).
+    """
+    nfa = _as_nfa(language).trim()
+    if not language_is_finite(nfa):
+        raise ValueError("language is infinite")
+    return list(enumerate_words(nfa, max(len(nfa.states), 1), max_words=max_words))

@@ -1,0 +1,27 @@
+"""The three semantics (§2.1) and the expansion machinery (§2.2, §4.1)."""
+
+from repro.semantics.base import Semantics
+from repro.semantics.expansion import (
+    Expansion,
+    expansions,
+    all_expansions,
+    atom_injective_expansions,
+    expansion_for_profile,
+)
+from repro.semantics.evaluation import evaluate, in_evaluation
+from repro.semantics.trails import TrailSemantics, evaluate_trails
+from repro.semantics import rpq
+
+__all__ = [
+    "TrailSemantics",
+    "evaluate_trails",
+    "Semantics",
+    "Expansion",
+    "expansions",
+    "all_expansions",
+    "atom_injective_expansions",
+    "expansion_for_profile",
+    "evaluate",
+    "in_evaluation",
+    "rpq",
+]

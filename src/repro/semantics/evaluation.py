@@ -1,0 +1,229 @@
+"""CRPQ evaluation under the three semantics (§2.1, §3).
+
+The entry points accept a CRPQ, a CQ, or a union thereof; ε-containing
+languages are handled by the ε-elimination of §2.1 (evaluation of the
+equivalent union of ε-free queries).
+
+Algorithms:
+
+- standard: per-atom walk relations (product-automaton BFS, NL in data
+  complexity) glued by a homomorphism search (NP combined complexity);
+- atom-injective: per-atom *simple-path* relations (NP-hard already per
+  atom, Prop 3.2) glued the same way — atoms need not be disjoint;
+- query-injective: a joint backtracking search, because node-disjointness
+  couples the atoms: injective variable assignment + simple paths whose
+  internal nodes avoid every other chosen node (Prop 2.2's injective
+  expansion homomorphism, run directly on the database).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.graphdb.graph import GraphDatabase
+from repro.graphdb.paths import simple_cycles_through, simple_paths
+from repro.homomorphism.matcher import homomorphisms
+from repro.queries.atoms import CQAtom
+from repro.queries.cq import CQ
+from repro.queries.crpq import union_of
+from repro.regular.nfa import NFA
+from repro.semantics.base import Semantics
+from repro.semantics.rpq import simple_cycle_nodes, simple_path_pairs, standard_pairs
+
+
+def evaluate(query, graph, semantics):
+    """Return Q(G)★ as a frozenset of node tuples.
+
+    ``query`` may be a CRPQ, a CQ, or a union (tuple/list) of them; the
+    union's evaluation is the union of the evaluations.
+    """
+    semantics = Semantics.coerce(semantics)
+    results = set()
+    for disjunct in union_of(query):
+        for eps_free in disjunct.epsilon_free_union():
+            results |= _evaluate_eps_free(eps_free, graph, semantics)
+    return frozenset(results)
+
+
+def in_evaluation(query, graph, target_tuple, semantics):
+    """Decide ``target_tuple ∈ Q(G)★`` with early exit.
+
+    This is the *evaluation problem* of §3 (Boolean queries pass ``()``).
+    """
+    semantics = Semantics.coerce(semantics)
+    target_tuple = tuple(target_tuple)
+    for disjunct in union_of(query):
+        for eps_free in disjunct.epsilon_free_union():
+            if len(target_tuple) != len(eps_free.head):
+                raise ValueError("target tuple arity mismatch")
+            if _check_eps_free(eps_free, graph, target_tuple, semantics):
+                return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# Per-semantics evaluation of ε-free CRPQs
+# ----------------------------------------------------------------------
+
+
+def _evaluate_eps_free(query, graph, semantics):
+    if semantics is Semantics.QUERY_INJECTIVE:
+        return {
+            tuple(mu[v] for v in query.head)
+            for mu in _qinj_solutions(query, graph)
+        }
+    relation_graph, relation_cq = _relational_encoding(query, graph, semantics)
+    return {
+        tuple(hom[v] for v in query.head)
+        for hom in homomorphisms(relation_cq, relation_graph)
+    }
+
+
+def _check_eps_free(query, graph, target_tuple, semantics):
+    if semantics is Semantics.QUERY_INJECTIVE:
+        initial = {}
+        for variable, node in zip(query.head, target_tuple):
+            if initial.get(variable, node) != node:
+                return False
+            initial[variable] = node
+        for _mu in _qinj_solutions(query, graph, initial_mu=initial):
+            return True
+        return False
+    relation_graph, relation_cq = _relational_encoding(query, graph, semantics)
+    for _hom in homomorphisms(relation_cq, relation_graph, target_tuple=target_tuple):
+        return True
+    return False
+
+
+def _relational_encoding(query, graph, semantics):
+    """Reduce st / a-inj evaluation to CQ matching over a relation graph.
+
+    Each atom ``x -[L]-> y`` becomes a fresh edge label ``("rel", i)`` whose
+    edge set is the atom's pair relation under the semantics: walks for
+    standard, simple paths / simple cycles for atom-injective.
+    """
+    relation_graph = GraphDatabase(nodes=graph.nodes)
+    cq_atoms = []
+    for index, atom in enumerate(query.atoms):
+        label = ("rel", index)
+        if semantics is Semantics.STANDARD:
+            pairs = standard_pairs(graph, atom.language)
+        else:
+            if atom.is_loop():
+                pairs = {
+                    (node, node)
+                    for node in simple_cycle_nodes(
+                        graph, atom.language, include_empty=False
+                    )
+                }
+            else:
+                pairs = simple_path_pairs(graph, atom.language)
+        for source, target in pairs:
+            relation_graph.add_edge(source, label, target)
+        cq_atoms.append(CQAtom(atom.source, label, atom.target))
+    relation_cq = CQ(query.head, cq_atoms, extra_variables=query.variables)
+    return relation_graph, relation_cq
+
+
+# ----------------------------------------------------------------------
+# Query-injective evaluation: joint backtracking
+# ----------------------------------------------------------------------
+
+
+def _qinj_solutions(query, graph, initial_mu=None):
+    """Yield injective assignments μ : vars(Q) → V(G) such that every atom
+    has a simple path (or simple cycle, for loop atoms) whose internal
+    nodes are fresh: distinct across atoms and distinct from every μ-image.
+
+    This is exactly an injective homomorphism from some expansion of Q
+    (Prop 2.2), searched directly on the database.
+    """
+    mu = dict(initial_mu or {})
+    values = list(mu.values())
+    if len(set(values)) != len(values):
+        return
+    if any(node not in graph.nodes for node in values):
+        return
+    atoms = list(query.atoms)
+    nfas = [NFA.from_regex(atom.language) for atom in atoms]
+    used_values = set(values)
+    internal_used = set()
+
+    def place_atom(index):
+        if index == len(atoms):
+            yield from place_isolated()
+            return
+        atom = atoms[index]
+        nfa = nfas[index]
+        for source in _candidates(atom.source):
+            undo_source = _assign(atom.source, source)
+            if undo_source is None:
+                continue
+            for target in _candidates(atom.target):
+                if atom.is_loop() and target != source:
+                    continue
+                undo_target = _assign(atom.target, target)
+                if undo_target is None:
+                    continue
+                forbidden = (used_values | internal_used) - {source, target}
+                if atom.is_loop():
+                    paths = simple_cycles_through(
+                        graph, source, language=nfa,
+                        forbidden=forbidden, include_empty=False,
+                    )
+                else:
+                    paths = simple_paths(
+                        graph, source, target, language=nfa, forbidden=forbidden
+                    )
+                for path in paths:
+                    internals = set(path.internal_nodes())
+                    internal_used.update(internals)
+                    yield from place_atom(index + 1)
+                    internal_used.difference_update(internals)
+                if undo_target:
+                    _unassign(atom.target)
+                if atom.is_loop():
+                    break  # target is the same variable; source loop covers it
+            if undo_source:
+                _unassign(atom.source)
+
+    def _candidates(variable):
+        if variable in mu:
+            return (mu[variable],)
+        return tuple(
+            node
+            for node in sorted(graph.nodes, key=repr)
+            if node not in used_values and node not in internal_used
+        )
+
+    def _assign(variable, node):
+        """Try μ(variable) = node; return True if newly assigned, False if
+        already consistently assigned, None on conflict."""
+        if variable in mu:
+            return False if mu[variable] == node else None
+        if node in used_values or node in internal_used:
+            return None
+        mu[variable] = node
+        used_values.add(node)
+        return True
+
+    def _unassign(variable):
+        used_values.discard(mu[variable])
+        del mu[variable]
+
+    def place_isolated():
+        free = [v for v in sorted(query.variables, key=repr) if v not in mu]
+        if not free:
+            yield dict(mu)
+            return
+        available = [
+            node
+            for node in sorted(graph.nodes, key=repr)
+            if node not in used_values and node not in internal_used
+        ]
+        for combo in itertools.permutations(available, len(free)):
+            assignment = dict(mu)
+            assignment.update(zip(free, combo))
+            yield assignment
+
+    yield from place_atom(0)

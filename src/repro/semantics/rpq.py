@@ -1,0 +1,109 @@
+"""RPQ-level evaluation primitives.
+
+- :func:`standard_pairs` — all pairs connected by a walk whose label is in
+  L (product-automaton BFS; the classical NL algorithm).
+- :func:`simple_path_pairs` — pairs connected by a *simple path* with label
+  in L (NP-hard in general, Mendelzon & Wood [26]; backtracking search).
+- :func:`simple_cycle_nodes` — nodes on a simple cycle with label in L.
+
+These are the atom-level building blocks of the three CRPQ semantics.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.graphdb.paths import simple_cycles_through, simple_paths
+from repro.regular.nfa import NFA
+from repro.regular.syntax import Regex
+
+
+def _as_nfa(language):
+    if isinstance(language, NFA):
+        return language
+    if isinstance(language, Regex):
+        return NFA.from_regex(language)
+    raise TypeError(f"expected Regex or NFA, got {language!r}")
+
+
+def standard_pairs(graph, language):
+    """Return {(u, v) : some walk u ⇝ v has label in L, with the empty walk
+    allowed only when u = v and ε ∈ L}.
+
+    BFS over the product graph (node, NFA state), one sweep per source node.
+    """
+    nfa = _as_nfa(language)
+    accepts_epsilon = nfa.accepts(())
+    pairs = set()
+    for source in graph.nodes:
+        if accepts_epsilon:
+            pairs.add((source, source))
+        start = {(source, state) for state in nfa.initials}
+        seen = set(start)
+        queue = deque(start)
+        while queue:
+            node, state = queue.popleft()
+            for edge in graph.out_edges(node):
+                for nxt_state in nfa.transitions.get((state, edge.label), ()):
+                    item = (edge.target, nxt_state)
+                    if item in seen:
+                        continue
+                    seen.add(item)
+                    queue.append(item)
+                    if nxt_state in nfa.finals:
+                        pairs.add((source, edge.target))
+    return pairs
+
+
+def simple_path_pairs(graph, language, prune_with_standard=True):
+    """Return {(u, v) : some *simple path* u ⇝ v has label in L}.
+
+    For u = v only the empty path is simple, so (u, u) appears iff ε ∈ L.
+    ``prune_with_standard`` first filters candidate pairs with the
+    (polynomial) walk relation — a simple path is a walk.
+    """
+    nfa = _as_nfa(language)
+    candidates = standard_pairs(graph, nfa) if prune_with_standard else {
+        (u, v) for u in graph.nodes for v in graph.nodes
+    }
+    pairs = set()
+    for source, target in candidates:
+        if source == target:
+            if nfa.accepts(()):
+                pairs.add((source, target))
+            continue
+        for _path in simple_paths(graph, source, target, language=nfa):
+            pairs.add((source, target))
+            break
+    return pairs
+
+
+def simple_cycle_nodes(graph, language, include_empty=True):
+    """Return {v : some simple cycle at v has label in L}.
+
+    The empty cycle (label ε) counts when ``include_empty`` and ε ∈ L —
+    this is how a loop atom x -[L]-> x with ε ∈ L is satisfied trivially.
+    """
+    nfa = _as_nfa(language)
+    nodes = set()
+    for node in graph.nodes:
+        for _cycle in simple_cycles_through(
+            graph, node, language=nfa, include_empty=include_empty
+        ):
+            nodes.add(node)
+            break
+    return nodes
+
+
+def rpq_evaluate(graph, language, semantics):
+    """Evaluate the RPQ x -[L]-> y under the given semantics name.
+
+    Standard semantics uses walks; both injective semantics coincide with
+    simple-path semantics at the RPQ level (a single atom).
+    """
+    from repro.semantics.base import Semantics
+
+    semantics = Semantics.coerce(semantics)
+    if semantics is Semantics.STANDARD:
+        return standard_pairs(graph, language)
+    return simple_path_pairs(graph, language)

@@ -1,0 +1,283 @@
+"""Trail (edge-injective) semantics — the §7 extension.
+
+The paper's discussion (§7) points out that reversing the roles of nodes
+and edges in the two injective semantics yields *atom-edge-injective* and
+*query-edge-injective* semantics, built on trails (paths with no repeated
+edges) instead of simple paths; atom-level trail semantics is what Neo4j's
+Cypher evaluates by default.  This module implements both:
+
+- ``ATOM_TRAIL``: every atom maps to a trail (closed trail for loop
+  atoms); different atoms may share edges;
+- ``QUERY_TRAIL``: additionally, no edge is used by two different atoms
+  (an edge-injective homomorphism from an expansion: distinct expansion
+  atoms land on distinct database edges; variables may still collide).
+
+The expected inclusions, property-tested in the suite:
+
+    Q(G)query-trail ⊆ Q(G)atom-trail ⊆ Q(G)st
+    Q(G)a-inj ⊆ Q(G)atom-trail
+
+Subtlety (its own regression test): ``q-inj ⊆ query-trail`` holds for
+queries without *parallel atoms* (two atoms between the same variable
+pair), but fails in general — under q-inj two parallel atoms may map onto
+the *same* single edge (no internal nodes are shared, and the expansion's
+duplicate atoms collapse by set semantics), while the path-based
+edge-disjointness implemented here rejects exactly that sharing.  The
+paper's §7 leaves the edge-injective definitions implicit; we implement
+the path-based reading and document the divergence.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.graphdb.graph import GraphDatabase
+from repro.graphdb.paths import Path
+from repro.homomorphism.matcher import homomorphisms
+from repro.queries.atoms import CQAtom
+from repro.queries.cq import CQ
+from repro.queries.crpq import union_of
+from repro.regular.nfa import NFA
+
+
+class TrailSemantics(enum.Enum):
+    """The two edge-injective semantics of the §7 discussion."""
+
+    ATOM_TRAIL = "atom-trail"
+    QUERY_TRAIL = "query-trail"
+
+    def __str__(self):
+        return self.value
+
+    @staticmethod
+    def coerce(value):
+        if isinstance(value, TrailSemantics):
+            return value
+        for semantics in TrailSemantics:
+            if value == semantics.value:
+                return semantics
+        raise ValueError(f"unknown trail semantics: {value!r}")
+
+
+def trails(graph, source, target, language=None, forbidden_edges=frozenset(),
+           require_nonempty=False):
+    """Yield trails source ⇝ target (no repeated edges), optionally
+    label-constrained and avoiding ``forbidden_edges``.
+
+    Unlike simple paths, a trail may revisit *nodes*; the search state
+    therefore tracks the set of used edges.  Closed trails (source ==
+    target, length ≥ 1) are produced too; the empty trail is yielded for
+    source == target when ε is accepted and ``require_nonempty`` is
+    false.
+    """
+    nfa = _as_nfa(language)
+    if source == target and not require_nonempty:
+        if nfa is None or nfa.accepts(()):
+            yield Path((source,), ())
+
+    initial_states = frozenset(nfa.initials) if nfa is not None else None
+    used = set(forbidden_edges)
+
+    def extend(node, states, nodes, labels):
+        for edge in sorted(graph.out_edges(node), key=_edge_key):
+            if edge in used:
+                continue
+            nxt_states = None
+            if nfa is not None:
+                nxt_states = nfa.step(states, edge.label)
+                if not nxt_states:
+                    continue
+            used.add(edge)
+            nodes.append(edge.target)
+            labels.append(edge.label)
+            if edge.target == target and (
+                nfa is None or (nxt_states & nfa.finals)
+            ):
+                yield Path(tuple(nodes), tuple(labels))
+            yield from extend(edge.target, nxt_states, nodes, labels)
+            nodes.pop()
+            labels.pop()
+            used.discard(edge)
+
+    yield from extend(source, initial_states, [source], [])
+
+
+def _as_nfa(language):
+    if language is None or isinstance(language, NFA):
+        return language
+    return NFA.from_regex(language)
+
+
+def _edge_key(edge):
+    return (repr(edge.label), repr(edge.target))
+
+
+def trail_pairs(graph, language):
+    """{(u, v) : some trail u ⇝ v has label in L} — the atom relation of
+    atom-trail semantics for non-loop atoms.
+
+    One DFS per source node collects every endpoint reachable by an
+    accepted trail (cheaper than a per-target search).
+    """
+    pairs = set()
+    for source in sorted(graph.nodes, key=repr):
+        for target in _reachable_trail_targets(graph, source, language):
+            pairs.add((source, target))
+    return pairs
+
+
+def _reachable_trail_targets(graph, source, language):
+    """All v such that a trail from ``source`` to v spells a word in L."""
+    nfa = _as_nfa(language)
+    found = set()
+    if nfa.accepts(()):
+        found.add(source)
+    used = set()
+
+    def extend(node, states):
+        for edge in sorted(graph.out_edges(node), key=_edge_key):
+            if edge in used:
+                continue
+            nxt_states = nfa.step(states, edge.label)
+            if not nxt_states:
+                continue
+            used.add(edge)
+            if nxt_states & nfa.finals:
+                found.add(edge.target)
+            extend(edge.target, nxt_states)
+            used.discard(edge)
+
+    extend(source, frozenset(nfa.initials))
+    return found
+
+
+def closed_trail_nodes(graph, language):
+    """{v : some nonempty closed trail at v has label in L} — the atom
+    relation of atom-trail semantics for loop atoms (x -[L]-> x)."""
+    nfa = _as_nfa(language)
+    nodes = set()
+    for node in sorted(graph.nodes, key=repr):
+        for path in trails(graph, node, node, language=nfa,
+                           require_nonempty=True):
+            if len(path) >= 1:
+                nodes.add(node)
+                break
+    return nodes
+
+
+def evaluate_trails(query, graph, semantics):
+    """Evaluate Q(G) under atom-trail or query-trail semantics.
+
+    Accepts CRPQs/CQs/unions; ε-containing languages are handled by the
+    same ε-elimination as the node-injective semantics (§2.1).
+    """
+    semantics = TrailSemantics.coerce(semantics)
+    results = set()
+    for disjunct in union_of(query):
+        for eps_free in disjunct.epsilon_free_union():
+            if semantics is TrailSemantics.ATOM_TRAIL:
+                results |= _evaluate_atom_trail(eps_free, graph)
+            else:
+                results |= {
+                    tuple(mu[v] for v in eps_free.head)
+                    for mu in _query_trail_solutions(eps_free, graph)
+                }
+    return frozenset(results)
+
+
+def _evaluate_atom_trail(query, graph):
+    """Atom-trail evaluation: per-atom trail relations glued by a
+    homomorphism search (atoms may share edges)."""
+    relation_graph = GraphDatabase(nodes=graph.nodes)
+    cq_atoms = []
+    for index, atom in enumerate(query.atoms):
+        label = ("trail", index)
+        if atom.is_loop():
+            pairs = {
+                (node, node)
+                for node in closed_trail_nodes(graph, atom.language)
+            }
+        else:
+            # Note the diagonal stays in: two distinct variables may map
+            # to the same node via a nonempty *closed* trail — this is a
+            # genuine difference from simple-path semantics, where only
+            # the empty path connects a node to itself.
+            pairs = trail_pairs(graph, atom.language)
+        for source, target in pairs:
+            relation_graph.add_edge(source, label, target)
+        cq_atoms.append(CQAtom(atom.source, label, atom.target))
+    relation_cq = CQ(query.head, cq_atoms, extra_variables=query.variables)
+    return {
+        tuple(hom[v] for v in query.head)
+        for hom in homomorphisms(relation_cq, relation_graph)
+    }
+
+
+def _query_trail_solutions(query, graph, initial_mu=None):
+    """Query-trail evaluation: joint backtracking with a shared used-edge
+    set.  Variables may collide (edge-injectivity only)."""
+    mu = dict(initial_mu or {})
+    if any(node not in graph.nodes for node in mu.values()):
+        return
+    atoms = list(query.atoms)
+    nfas = [_as_nfa(atom.language) for atom in atoms]
+    used_edges = set()
+
+    def node_candidates(variable):
+        if variable in mu:
+            return (mu[variable],)
+        return tuple(sorted(graph.nodes, key=repr))
+
+    def place_atom(index):
+        if index == len(atoms):
+            free = [v for v in sorted(query.variables, key=repr) if v not in mu]
+            if not free:
+                yield dict(mu)
+                return
+            import itertools
+
+            for combo in itertools.product(sorted(graph.nodes, key=repr),
+                                           repeat=len(free)):
+                assignment = dict(mu)
+                assignment.update(zip(free, combo))
+                yield assignment
+            return
+        atom = atoms[index]
+        nfa = nfas[index]
+        for source in node_candidates(atom.source):
+            source_new = atom.source not in mu
+            mu[atom.source] = source
+            targets = (
+                (source,) if atom.is_loop() else node_candidates(atom.target)
+            )
+            for target in targets:
+                target_new = atom.target not in mu or (
+                    atom.is_loop() and False
+                )
+                if atom.target in mu and mu[atom.target] != target:
+                    continue
+                had_target = atom.target in mu
+                mu[atom.target] = target
+                require_nonempty = atom.is_loop()
+                for path in trails(graph, source, target, language=nfa,
+                                   forbidden_edges=used_edges,
+                                   require_nonempty=require_nonempty):
+                    path_edges = {
+                        _edge_of(graph, path, i) for i in range(len(path))
+                    }
+                    used_edges.update(path_edges)
+                    yield from place_atom(index + 1)
+                    used_edges.difference_update(path_edges)
+                if not had_target:
+                    del mu[atom.target]
+            if source_new and atom.source in mu:
+                del mu[atom.source]
+
+    yield from place_atom(0)
+
+
+def _edge_of(graph, path, position):
+    from repro.graphdb.graph import Edge
+
+    return Edge(path.nodes[position], path.labels[position],
+                path.nodes[position + 1])

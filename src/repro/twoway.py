@@ -1,0 +1,66 @@
+"""Two-way navigation (C2RPQs) — a §7 extension.
+
+The paper's outlook (§7) lists CRPQs with two-way navigation (C2RPQ [9])
+as a natural extension.  A C2RPQ atom's language ranges over A ∪ A⁻: the
+inverse symbol a⁻ traverses an a-edge backwards.  We support this at the
+evaluation level by the standard reduction: evaluate over the *inverse
+closure* G± of the database, which materializes a reversed edge with an
+inverse label for every edge.
+
+Inverse labels are ``inv(a)``; :func:`inverse` is an involution, so
+regexes may be written directly over mixed alphabets.  A simple path in
+G± is node-distinct regardless of traversal directions, which matches the
+usual C2RPQ reading of simple-path semantics.
+
+Containment for C2RPQs is *not* provided: counterexample candidates would
+have to range over inverse-closed databases only, which changes the
+expansion spaces (this is why [9] handles inverses specially); evaluation
+over concrete databases is unaffected by the subtlety.
+"""
+
+from __future__ import annotations
+
+from repro.graphdb.graph import GraphDatabase
+from repro.semantics.base import Semantics
+from repro.semantics.evaluation import evaluate
+
+_INVERSE_TAG = "inv"
+
+
+def inverse(label):
+    """The inverse label a⁻; an involution (inverse(inverse(a)) == a)."""
+    if isinstance(label, tuple) and len(label) == 2 and label[0] == _INVERSE_TAG:
+        return label[1]
+    return (_INVERSE_TAG, label)
+
+
+def is_inverse(label):
+    """True iff ``label`` is an inverse label."""
+    return (
+        isinstance(label, tuple) and len(label) == 2 and label[0] == _INVERSE_TAG
+    )
+
+
+def inverse_closure(graph):
+    """G±: for every edge u -a-> v add v -a⁻-> u.
+
+    Inverse edges of inverse labels fold back (involution), so the
+    closure is idempotent.
+    """
+    closed = GraphDatabase(nodes=graph.nodes)
+    for edge in graph.edges:
+        closed.add_edge(edge.source, edge.label, edge.target)
+        closed.add_edge(edge.target, inverse(edge.label), edge.source)
+    return closed
+
+
+def evaluate_twoway(query, graph, semantics):
+    """Evaluate a C2RPQ (atom languages over A ∪ A⁻) over ``graph``.
+
+    Equivalent to evaluating the query as a plain CRPQ over the inverse
+    closure G±.  All three semantics are supported; under the injective
+    semantics, path simplicity is node-distinctness in G± (directions may
+    mix along one atom path).
+    """
+    semantics = Semantics.coerce(semantics)
+    return evaluate(query, inverse_closure(graph), semantics)

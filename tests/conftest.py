@@ -1,0 +1,68 @@
+"""Shared fixtures and reference implementations for the test suite.
+
+The reference implementations here are deliberately naive (expansion +
+homomorphism characterizations, Props 2.2/2.3) so they can cross-validate
+the optimized evaluators and deciders.
+"""
+
+import random
+
+import pytest
+
+from repro.graphdb.graph import GraphDatabase
+from repro.homomorphism.matcher import homomorphisms
+from repro.queries.crpq import union_of
+from repro.semantics.base import Semantics
+from repro.semantics.expansion import expansions
+from repro.errors import SearchBudgetExceeded
+
+
+@pytest.fixture
+def rng():
+    return random.Random(12345)
+
+
+@pytest.fixture
+def triangle_graph():
+    g = GraphDatabase()
+    g.add_edge("u", "a", "v")
+    g.add_edge("v", "b", "w")
+    g.add_edge("w", "c", "u")
+    return g
+
+
+def reference_evaluate(query, graph, semantics, max_word_length=None):
+    """Evaluate via the expansion characterizations (Props 2.2 / 2.3).
+
+    ``max_word_length`` defaults to |V(G)| + 1, which is complete: any
+    injective/atom-injective image of a path has at most |V| nodes, and
+    a standard-semantics walk witness can be pumped down to visit each
+    (node, NFA-state) pair at most once — the bound |V|·max-states is
+    conservative, so tests pass an explicit bound for starred queries.
+    """
+    semantics = Semantics.coerce(semantics)
+    if max_word_length is None:
+        max_word_length = graph.node_count() + 1
+    results = set()
+    for disjunct in union_of(query):
+        for eps_free in disjunct.epsilon_free_union():
+            for expansion in expansions(eps_free, max_word_length,
+                                        max_count=200000):
+                results |= _expansion_matches(expansion, graph, semantics)
+    return frozenset(results)
+
+
+def _expansion_matches(expansion, graph, semantics):
+    cq = expansion.cq
+    found = set()
+    if semantics is Semantics.STANDARD:
+        gen = homomorphisms(cq, graph)
+    elif semantics is Semantics.QUERY_INJECTIVE:
+        gen = homomorphisms(cq, graph, injective=True)
+    else:
+        gen = homomorphisms(
+            cq, graph, distinct_pairs=expansion.atom_related_pairs()
+        )
+    for hom in gen:
+        found.add(tuple(hom[v] for v in cq.head))
+    return found

@@ -1,0 +1,155 @@
+"""Property tests for the abstraction-class internals (Theorem 5.1).
+
+The class components (M, U, G, R, W, Ist, Out) are built incrementally by
+``_class_step``; these tests validate every component against its
+*definitional* brute-force computation on random words — the strongest
+correctness check for the trickiest code in the containment layer.
+"""
+
+import random
+
+import pytest
+
+from repro.containment.abstraction import _Class, _class_step, _combined_q2_nfa
+from repro.queries.parser import parse_query
+from repro.regular.nfa import NFA
+from repro.regular.parser import parse_regex
+
+
+def _brute_components(q2_nfa, word):
+    """Compute the class components straight from their definitions."""
+    states = q2_nfa.states
+    finals = q2_nfa.finals
+    initials = q2_nfa.initials
+
+    def run(source, w):
+        return q2_nfa.run(w, sources={source})
+
+    def has_final_run(source, w):
+        return bool(run(source, w) & finals)
+
+    def initial_run_targets(w):
+        return q2_nfa.run(w, sources=initials)
+
+    n = len(word)
+    M = frozenset(
+        (q, q2) for q in states for q2 in run(q, word)
+    )
+    U = frozenset(
+        q for q in states
+        if any(has_final_run(q, word[:i]) for i in range(1, n + 1))
+    )
+    G = frozenset(
+        q for q in states
+        if any(has_final_run(q, word[:i]) for i in range(1, n))
+    )
+    R = frozenset(
+        (q, r)
+        for q in states
+        for i in range(1, n)
+        if has_final_run(q, word[:i])
+        for r in initial_run_targets(word[i:])
+    )
+    W = frozenset(
+        (q, r)
+        for q in states
+        for i in range(1, n)
+        for j in range(i + 1, n)
+        if has_final_run(q, word[:i])
+        for r in initial_run_targets(word[j:])
+    )
+    Ist = frozenset(
+        (q, r)
+        for q in states
+        for i in range(1, n)
+        for r in run(q, word[i:])
+    )
+    Out = frozenset(
+        (q, r)
+        for q in states
+        for i in range(1, n)
+        for j in range(i + 1, n)
+        for r in run(q, word[i:j])
+    )
+    return M, U, G, R, W, Ist, Out
+
+
+def _step_word(atom_nfa, q2_nfa, word):
+    """Build the class for ``word`` via repeated _class_step."""
+    identity = frozenset((q, q) for q in q2_nfa.states)
+    cls = _Class(
+        frozenset(atom_nfa.initials), identity,
+        frozenset(), frozenset(), frozenset(), frozenset(), frozenset(),
+        frozenset(), started=False,
+    )
+    for letter in word:
+        cls = _class_step(cls, letter, atom_nfa, q2_nfa)
+        if cls is None:
+            return None
+    return cls
+
+
+Q2_PATTERNS = [
+    "Q() :- x -[(ab)*]-> y",
+    "Q() :- x -[a^+b]-> y, y -[(a+b)a]-> z",
+    "Q() :- x -[ab+ba]-> y",
+]
+
+
+@pytest.mark.parametrize("pattern", Q2_PATTERNS)
+@pytest.mark.parametrize("seed", range(4))
+def test_class_components_match_definitions(pattern, seed):
+    rng = random.Random(seed)
+    q2 = parse_query(pattern)
+    q2_nfa = _combined_q2_nfa((q2,))
+    atom_nfa = NFA.from_regex(parse_regex("(a+b)*"))
+    for _trial in range(8):
+        length = rng.randint(1, 5)
+        word = tuple(rng.choice("ab") for _ in range(length))
+        cls = _step_word(atom_nfa, q2_nfa, word)
+        assert cls is not None  # (a+b)* never dies
+        M, U, G, R, W, Ist, Out = _brute_components(q2_nfa, word)
+        assert cls.M == M, ("M", word)
+        assert cls.U == U, ("U", word)
+        assert cls.G == G, ("G", word)
+        assert cls.R == R, ("R", word)
+        assert cls.W == W, ("W", word)
+        assert cls.Ist == Ist, ("Ist", word)
+        assert cls.Out == Out, ("Out", word)
+
+
+def test_dead_atom_residual_prunes():
+    q2 = parse_query("Q() :- x -[a]-> y")
+    q2_nfa = _combined_q2_nfa((q2,))
+    atom_nfa = NFA.from_regex(parse_regex("ab"))
+    # Reading 'b' first leaves the residual of ab empty: pruned.
+    assert _step_word(atom_nfa, q2_nfa, ("b",)) is None
+    assert _step_word(atom_nfa, q2_nfa, ("a", "b")) is not None
+
+
+def test_same_class_words_are_interchangeable():
+    """The load-bearing property: words in the same class admit the same
+    Q2 matches when substituted into an expansion (spot-check)."""
+    from repro.containment.abstraction import atom_classes
+    from repro.semantics.evaluation import in_evaluation
+    from repro.semantics.expansion import Expansion
+
+    q1 = parse_query("Q(x, y) :- x -[(ab)^+]-> y")
+    q2 = parse_query("Q(x, y) :- x -[ab]-> z, z -[(ab)*]-> y")
+    q2_nfa = _combined_q2_nfa(tuple(q2.epsilon_free_union()))
+    classes = atom_classes(q1.atoms[0], q2_nfa)
+    # Group accepted words of length ≤ 6 by class and compare outcomes.
+    by_class = {}
+    atom_nfa = NFA.from_regex(q1.atoms[0].language)
+    from repro.regular.words import enumerate_words
+
+    for word in enumerate_words(q1.atoms[0].language, 6):
+        cls = _step_word(atom_nfa, q2_nfa, word)
+        outcome = None
+        expansion = Expansion(q1, (word,))
+        cq = expansion.cq
+        outcome = in_evaluation(q2, cq.as_graph(), cq.head, "q-inj")
+        by_class.setdefault(cls.key(), set()).add(outcome)
+    assert by_class
+    for key, outcomes in by_class.items():
+        assert len(outcomes) == 1, "same-class words disagreed"

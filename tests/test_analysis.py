@@ -1,0 +1,104 @@
+"""Tests for the analysis/experiment harness (Figure 1 table, workload
+generators, agreement experiments)."""
+
+import random
+
+import pytest
+
+from repro.analysis import figure1
+from repro.analysis.experiments import (
+    agreement_matrix,
+    agreement_matrix_text,
+    hierarchy_check,
+    semantics_census,
+)
+from repro.analysis.workloads import (
+    query_pair_family,
+    random_language,
+    random_query,
+    random_word_graph,
+)
+from repro.queries.crpq import QueryClass
+
+
+class TestFigure1Table:
+    def test_27_cells(self):
+        assert len(figure1.FIGURE1) == 27
+
+    def test_undecidable_cells(self):
+        undecidable = [c for c in figure1.FIGURE1 if not c.decidable]
+        assert len(undecidable) == 2
+        assert all(c.semantics.value == "a-inj" for c in undecidable)
+        assert all(c.left is QueryClass.CRPQ for c in undecidable)
+
+    def test_qinj_full_cell_is_pspace(self):
+        cell = figure1.cell(QueryClass.CRPQ, QueryClass.CRPQ, "q-inj")
+        assert cell.complexity == "PSpace-complete"
+        assert cell.decider == "abstraction-classes"
+
+    def test_standard_full_cell_is_expspace(self):
+        cell = figure1.cell(QueryClass.CRPQ, QueryClass.CRPQ, "st")
+        assert cell.complexity == "ExpSpace-complete"
+
+    def test_lookup_missing_raises(self):
+        with pytest.raises(KeyError):
+            figure1.cell(QueryClass.CQ, QueryClass.CQ, "st-wrong") \
+                if False else figure1.cell("nope", QueryClass.CQ, "st")
+
+    def test_table_text_renders(self):
+        text = figure1.figure1_table_text()
+        assert "ExpSpace-complete" in text
+        assert "undecidable" in text
+        assert len(text.splitlines()) == 4
+
+
+class TestWorkloads:
+    def test_random_language_class(self):
+        rng = random.Random(0)
+        for _ in range(10):
+            cq_lang = random_language(rng, {"a", "b"}, QueryClass.CQ)
+            from repro.regular.syntax import Symbol
+
+            assert isinstance(cq_lang, Symbol)
+            fin = random_language(rng, {"a", "b"}, QueryClass.CRPQ_FIN)
+            assert fin.is_star_free()
+            full = random_language(rng, {"a", "b"}, QueryClass.CRPQ)
+            assert not full.is_star_free()
+
+    def test_random_query_deterministic(self):
+        a = random_query(random.Random(7), QueryClass.CRPQ_FIN)
+        b = random_query(random.Random(7), QueryClass.CRPQ_FIN)
+        assert str(a) == str(b)
+
+    def test_query_pair_family_classes(self):
+        order = {QueryClass.CQ: 0, QueryClass.CRPQ_FIN: 1, QueryClass.CRPQ: 2}
+        for q1, q2 in query_pair_family(QueryClass.CRPQ_FIN, QueryClass.CQ,
+                                        count=6, seed=1):
+            assert order[q1.query_class()] <= order[QueryClass.CRPQ_FIN]
+            assert order[q2.query_class()] <= order[QueryClass.CQ]
+
+    def test_random_word_graph(self):
+        g = random_word_graph(random.Random(0), {"a", "b"}, num_nodes=4,
+                              num_edges=5)
+        assert g.node_count() == 4
+
+
+class TestExperiments:
+    def test_semantics_census_asserts_hierarchy(self, triangle_graph):
+        from repro.queries.parser import parse_query
+
+        census = semantics_census(
+            parse_query("Q(x, y) :- x -[a]-> y"), triangle_graph
+        )
+        assert len(census) == 3
+
+    def test_hierarchy_check_runs(self):
+        assert hierarchy_check(trials=3) == 3
+
+    def test_agreement_matrix_small(self):
+        rows = agreement_matrix(pairs_per_cell=1, seed=0, reference_bound=2)
+        assert len(rows) == 27
+        for row in rows:
+            assert row["agreements"] == row["checked"], row
+        text = agreement_matrix_text(rows)
+        assert "cell" in text.splitlines()[0]

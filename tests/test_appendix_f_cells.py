@@ -1,0 +1,136 @@
+"""Behavioral tests for the Appendix F subclass results (Figure 1 cells).
+
+Each proposition is exercised through queries shaped like its proof
+devices; we verify the *behavior* the complexity result rests on, using
+the exact deciders.
+
+- F.2  CQ/CRPQ and CQ/CQ under q-inj reduce to a single injective check;
+- F.4  CQ/CQ under a-inj: quotients of the left CQ are the only extra
+       counterexample sources;
+- F.6/F.7  CRPQ(fin)/CQ: the Π2p pattern — expansion choice (∀) against
+       homomorphism choice (∃);
+- F.8  CRPQ/CRPQfin is PSpace-hard via RPQ language containment: the
+       deciders agree with automata-theoretic language containment;
+- F.10 CRPQfin/CRPQ: finitely many left expansions suffice.
+"""
+
+import pytest
+
+from repro.containment.api import contains
+from repro.containment.result import Verdict
+from repro.queries.parser import parse_query
+from repro.regular.dfa import nfa_language_subset
+from repro.regular.nfa import NFA
+from repro.regular.parser import parse_regex
+
+
+class TestF2_QInjCQLeft:
+    def test_single_expansion_suffices(self):
+        # A CQ has exactly one expansion (itself): q-inj containment in a
+        # CRPQ is one injective-evaluation check.
+        q1 = parse_query("Q() :- x -a-> y, y -b-> z")
+        q2 = parse_query("Q() :- u -[ab?]-> v")
+        result = contains(q1, q2, "q-inj")
+        assert result.verdict is Verdict.CONTAINED
+        assert result.details["expansions_checked"] == 1
+
+    def test_injectivity_bites(self):
+        # Q2 demands two distinct b-successors; Q1 provides only one.
+        q1 = parse_query("Q() :- x -b-> y")
+        q2 = parse_query("Q() :- u -b-> v, u -b-> w")
+        # Under standard semantics v,w may coincide: contained.
+        assert bool(contains(q1, q2, "st"))
+        # Under q-inj they may not: not contained.
+        assert not bool(contains(q1, q2, "q-inj"))
+
+
+class TestF4_AInjCQCQ:
+    def test_quotient_is_the_only_new_counterexample(self):
+        # Without quotients Q2 → Q1 (st-containment holds); the x=z
+        # quotient kills it under a-inj.
+        q1 = parse_query("Q() :- x -a-> y, y -a-> z")
+        q2 = parse_query("Q() :- u -a-> v, v -a-> w")
+        assert bool(contains(q1, q2, "st"))
+        result = contains(q1, q2, "a-inj")
+        # The quotient x=z is a 2-cycle; Q2 maps into it a-injectively
+        # (u→x, v→y, w→x — per-atom injectivity only needs u≠v, v≠w).
+        assert result.verdict is Verdict.CONTAINED
+        # But with a 3-path against a *loop-free* target on 2 nodes it
+        # flips: Q2 = 3 consecutive edges cannot a-inj-map into the
+        # quotient of a 2-path... construct the paper-style failure:
+        q2_long = parse_query("Q() :- u -a-> v, v -a-> w, w -a-> s")
+        q1_long = parse_query("Q() :- x -a-> y, y -a-> z, z -a-> t")
+        assert bool(contains(q1_long, q2_long, "st"))
+        result_long = contains(q1_long, q2_long, "a-inj")
+        # Quotient identifying x=t gives a 3-cycle; walks of length 3
+        # exist a-injectively (each edge distinct endpoints) — contained.
+        assert result_long.verdict is Verdict.CONTAINED
+
+    def test_ainj_counterexample_needs_quotient(self):
+        # Example 4.7's pair is the canonical F.4-style separation; the
+        # witness must be a *proper* quotient (2 variables, not 3).
+        q1 = parse_query("Q() :- x -a-> y, y -b-> z")
+        q2 = parse_query("Q() :- x -[ab]-> y")
+        result = contains(q1, q2, "a-inj")
+        assert result.verdict is Verdict.NOT_CONTAINED
+        assert len(result.counterexample.variables) == 2
+
+
+class TestF6F7_Pi2pPattern:
+    def test_forall_exists_alternation(self):
+        # ∀ expansion of the left (chooses a or b), ∃ hom of the right:
+        # Q2 must match both branches.
+        q1 = parse_query("Q() :- x -[a+b]-> y")
+        q2_matches_both = parse_query("Q() :- u -a-> v, w -b-> s")
+        # Q2 is a CQ needing BOTH an a-edge and a b-edge: the a-expansion
+        # of Q1 has no b-edge: not contained.
+        assert not bool(contains(q1, q2_matches_both, "st"))
+        # A disjunction-shaped right side (union) handles both branches.
+        q2a = parse_query("Q() :- u -a-> v")
+        q2b = parse_query("Q() :- u -b-> v")
+        assert bool(contains(q1, (q2a, q2b), "st"))
+
+    def test_exponentially_many_expansions_are_checked(self):
+        # Three binary-choice atoms: 8 expansions, all checked.
+        q1 = parse_query(
+            "Q() :- x1 -[a+b]-> y1, x2 -[a+b]-> y2, x3 -[a+b]-> y3"
+        )
+        q2 = parse_query("Q() :- u -[a+b]-> v")
+        result = contains(q1, q2, "st")
+        assert result.verdict is Verdict.CONTAINED
+        assert result.details["expansions_checked"] == 8
+
+
+class TestF8_PSpaceViaLanguages:
+    """F.8 embeds NFA language containment into CRPQ/CRPQfin containment;
+    we check the converse behavior our deciders rely on: RPQ containment
+    coincides with language containment for ε-free patterns."""
+
+    PATTERNS = ["(ab)^+", "a^+", "(a+b)(a+b)", "ab+ba", "a(ba)*"]
+
+    @pytest.mark.parametrize("left", PATTERNS)
+    @pytest.mark.parametrize("right", PATTERNS)
+    def test_rpq_containment_is_language_containment(self, left, right):
+        q1 = parse_query(f"Q(x, y) :- x -[{left}]-> y")
+        q2 = parse_query(f"Q(x, y) :- x -[{right}]-> y")
+        expected = nfa_language_subset(
+            NFA.from_regex(parse_regex(left)),
+            NFA.from_regex(parse_regex(right)),
+        )
+        for semantics in ("st", "q-inj"):
+            got = bool(contains(q1, q2, semantics))
+            assert got == expected, (left, right, semantics)
+
+
+class TestF10_FinLeftStarRight:
+    def test_star_right_handled_by_evaluation(self):
+        q1 = parse_query("Q() :- x -[abab]-> y")
+        q2 = parse_query("Q() :- u -[(ab)*]-> v, v -[(ab)*]-> w")
+        for semantics in ("st", "q-inj", "a-inj"):
+            assert bool(contains(q1, q2, semantics)), semantics
+
+    def test_star_right_not_contained(self):
+        q1 = parse_query("Q(x, y) :- x -[ab]-> y")
+        q2 = parse_query("Q(x, y) :- x -[(ba)^+]-> y")
+        for semantics in ("st", "q-inj", "a-inj"):
+            assert not bool(contains(q1, q2, semantics)), semantics

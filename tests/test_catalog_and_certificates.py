@@ -1,0 +1,102 @@
+"""Tests for the query catalog and containment certificates."""
+
+import pytest
+
+from repro.analysis.catalog import CATALOG, by_name
+from repro.containment.certificates import (
+    ContainmentCertificate,
+    containment_certificate,
+)
+from repro.containment.result import Verdict
+from repro.queries.parser import parse_query
+from repro.semantics.base import ALL_SEMANTICS
+from repro.semantics.evaluation import evaluate
+
+
+class TestCatalog:
+    def test_lookup(self):
+        entry = by_name("paper-running-example")
+        assert "Figure 2" in entry.description or "ab" in str(entry.query)
+
+    def test_lookup_missing(self):
+        with pytest.raises(KeyError):
+            by_name("nope")
+
+    @pytest.mark.parametrize("entry", CATALOG, ids=lambda e: e.name)
+    def test_every_entry_evaluates_under_all_semantics(self, entry):
+        graph = entry.graph()
+        results = {s: evaluate(entry.query, graph, s) for s in ALL_SEMANTICS}
+        # Hierarchy must hold on catalog workloads too.
+        st, ainj, qinj = (results[s] for s in ALL_SEMANTICS)
+        assert qinj <= ainj <= st
+
+    def test_diamond_separates_semantics(self):
+        entry = by_name("diamond")
+        graph = entry.graph()
+        st = evaluate(entry.query, graph, "st")
+        qinj = evaluate(entry.query, graph, "q-inj")
+        assert qinj < st  # disjoint routes are genuinely rarer
+
+
+class TestCertificates:
+    def test_contained_certificate_verifies(self):
+        q1 = parse_query("Q() :- x -[ab+ba]-> y")
+        q2 = parse_query("Q() :- u -[a+b]-> v")
+        verdict, certificate = containment_certificate(q1, q2, "st")
+        assert verdict is Verdict.CONTAINED
+        assert isinstance(certificate, ContainmentCertificate)
+        assert len(certificate) == 2  # one entry per left expansion
+        assert certificate.verify()
+
+    def test_not_contained_returns_counterexample(self):
+        q1 = parse_query("Q() :- x -[ab+aa]-> y")
+        q2 = parse_query("Q() :- u -[ab]-> v")
+        verdict, payload = containment_certificate(q1, q2, "st")
+        assert verdict is Verdict.NOT_CONTAINED
+        labels = sorted(a.label for a in payload.atoms)
+        assert labels == ["a", "a"]
+
+    @pytest.mark.parametrize("semantics", ["st", "q-inj", "a-inj"])
+    def test_certificates_agree_with_decider(self, semantics):
+        from repro.containment.api import contains
+
+        pairs = [
+            ("Q() :- x -a-> y, y -b-> z", "Q() :- x -[ab]-> y"),
+            ("Q() :- x -a-> y, x -b-> y", "Q() :- x -a-> y, u -b-> v"),
+            ("Q() :- x -[ab]-> y", "Q() :- x -a-> z, z -b-> y"),
+        ]
+        for left_text, right_text in pairs:
+            q1, q2 = parse_query(left_text), parse_query(right_text)
+            verdict, payload = containment_certificate(q1, q2, semantics)
+            decider = contains(q1, q2, semantics)
+            assert verdict is decider.verdict, (left_text, semantics)
+            if verdict is Verdict.CONTAINED:
+                assert payload.verify()
+
+    def test_qinj_certificate_is_injective(self):
+        q1 = parse_query("Q() :- x -a-> y, y -b-> z")
+        q2 = parse_query("Q() :- u -[ab]-> v")
+        verdict, certificate = containment_certificate(q1, q2, "q-inj")
+        assert verdict is Verdict.CONTAINED
+        for _left, right_cq, hom in certificate.entries:
+            values = [hom[v] for v in right_cq.variables]
+            assert len(set(values)) == len(values)
+
+    def test_rejects_starred_sides(self):
+        starred = parse_query("Q() :- x -[a*]-> y")
+        plain = parse_query("Q() :- x -a-> y")
+        with pytest.raises(ValueError):
+            containment_certificate(starred, plain, "st")
+        with pytest.raises(ValueError):
+            containment_certificate(plain, starred, "st")
+
+    def test_tampered_certificate_fails_verification(self):
+        q1 = parse_query("Q() :- x -a-> y, y -b-> z")
+        q2 = parse_query("Q() :- u -[ab]-> v")
+        _verdict, certificate = containment_certificate(q1, q2, "st")
+        left_cq, right_cq, hom = certificate.entries[0]
+        bad_hom = dict(hom)
+        some_var = next(iter(right_cq.variables))
+        bad_hom[some_var] = "bogus-node"
+        certificate.entries[0] = (left_cq, right_cq, bad_hom)
+        assert not certificate.verify()

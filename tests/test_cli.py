@@ -1,0 +1,106 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, load_graph, main
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    path = tmp_path / "graph.txt"
+    path.write_text(
+        "# Figure 2's G, reconstructed\n"
+        "u a v\n"
+        "v b w\n"
+        "w c v\n"
+        "v c u\n"
+    )
+    return str(path)
+
+
+class TestLoadGraph:
+    def test_loads_edges(self, graph_file):
+        graph = load_graph(graph_file)
+        assert graph.node_count() == 3
+        assert graph.edge_count() == 4
+
+    def test_comments_and_blank_lines(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("\n# comment\nu a v  # trailing\n")
+        graph = load_graph(str(path))
+        assert graph.edge_count() == 1
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("u a\n")
+        with pytest.raises(ValueError):
+            load_graph(str(path))
+
+
+class TestCommands:
+    def test_evaluate(self, graph_file, capsys):
+        code = main([
+            "evaluate", "Q(x, y) :- x -[(ab)*]-> y, y -[c*]-> x",
+            graph_file, "--semantics", "a-inj",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "u\tw" in out
+        assert "answer(s)" in out
+
+    def test_evaluate_trail_semantics(self, graph_file, capsys):
+        code = main([
+            "evaluate", "Q(x, y) :- x -[ab]-> y", graph_file,
+            "--semantics", "atom-trail",
+        ])
+        assert code == 0
+        assert "u\tw" in capsys.readouterr().out
+
+    def test_contains_exit_codes(self, capsys):
+        contained = main([
+            "contains", "Q() :- x -a-> y, y -b-> z", "Q() :- x -[ab]-> y",
+            "--semantics", "st",
+        ])
+        assert contained == 0
+        not_contained = main([
+            "contains", "Q() :- x -a-> y, y -b-> z", "Q() :- x -[ab]-> y",
+            "--semantics", "a-inj",
+        ])
+        assert not_contained == 1
+        assert "counterexample" in capsys.readouterr().out
+
+    def test_figure1(self, capsys):
+        assert main(["figure1"]) == 0
+        out = capsys.readouterr().out
+        assert "ExpSpace-complete" in out and "undecidable" in out
+
+    def test_examples_listing(self, capsys):
+        assert main(["examples"]) == 0
+        assert "quickstart.py" in capsys.readouterr().out
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_boolean_answer_rendering(self, graph_file, capsys):
+        code = main(["evaluate", "Q() :- x -[a]-> y", graph_file])
+        assert code == 0
+        assert "()" in capsys.readouterr().out
+
+    def test_certify_contained(self, capsys):
+        code = main([
+            "certify", "Q() :- x -a-> y, y -b-> z", "Q() :- x -[ab]-> y",
+            "--semantics", "q-inj",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "verify() = True" in out
+        assert "↦" in out
+
+    def test_certify_not_contained(self, capsys):
+        code = main([
+            "certify", "Q() :- x -a-> y, y -b-> z", "Q() :- x -[ab]-> y",
+            "--semantics", "a-inj",
+        ])
+        assert code == 1
+        assert "counterexample" in capsys.readouterr().out

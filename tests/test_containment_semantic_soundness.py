@@ -1,0 +1,82 @@
+"""Definition-level validation of the containment deciders.
+
+Containment is *defined* semantically (§4): Q1 ⊆★ Q2 iff Q1(G)★ ⊆ Q2(G)★
+for every graph database G.  The deciders work through expansion
+characterizations; these tests close the loop against the definition
+itself:
+
+- soundness of CONTAINED: on randomly sampled databases, the evaluations
+  must satisfy the inclusion (a single violation would disprove the
+  verdict);
+- soundness of NOT_CONTAINED: the witness expansion *is* a database on
+  which the inclusion fails — checked directly.
+
+This catches any systematic bias shared by the deciders and the reference
+implementations (which both live in expansion-land).
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.workloads import query_pair_family, random_word_graph
+from repro.containment.api import contains
+from repro.containment.result import Verdict
+from repro.queries.crpq import QueryClass
+from repro.semantics.base import ALL_SEMANTICS
+from repro.semantics.evaluation import evaluate, in_evaluation
+
+
+@pytest.mark.parametrize("semantics", ALL_SEMANTICS, ids=str)
+@pytest.mark.parametrize("seed", range(5))
+def test_contained_verdicts_hold_on_random_databases(semantics, seed):
+    rng = random.Random(600 + seed)
+    for q1, q2 in query_pair_family(QueryClass.CRPQ_FIN, QueryClass.CRPQ_FIN,
+                                    count=3, seed=600 + seed):
+        result = contains(q1, q2, semantics)
+        if result.verdict is not Verdict.CONTAINED:
+            continue
+        for _ in range(4):
+            graph = random_word_graph(rng, q1.alphabet | q2.alphabet | {"a"},
+                                      num_nodes=4, num_edges=7)
+            left = evaluate(q1, graph, semantics)
+            right = evaluate(q2, graph, semantics)
+            assert left <= right, (semantics, seed, str(q1), str(q2))
+
+
+@pytest.mark.parametrize("semantics", ALL_SEMANTICS, ids=str)
+@pytest.mark.parametrize("seed", range(5))
+def test_not_contained_witnesses_are_databases(semantics, seed):
+    for q1, q2 in query_pair_family(QueryClass.CRPQ_FIN, QueryClass.CRPQ_FIN,
+                                    count=3, seed=700 + seed):
+        result = contains(q1, q2, semantics)
+        if result.verdict is not Verdict.NOT_CONTAINED:
+            continue
+        witness = result.counterexample
+        graph = witness.as_graph()
+        # The witness tuple is in Q1's evaluation but not Q2's — the
+        # semantic definition of non-containment, on a concrete database.
+        assert in_evaluation(q1, graph, witness.head, semantics)
+        assert not in_evaluation(q2, graph, witness.head, semantics)
+
+
+@pytest.mark.parametrize("semantics", ["st", "q-inj"], ids=str)
+@pytest.mark.parametrize("seed", range(3))
+def test_starred_left_contained_verdicts_hold(semantics, seed):
+    """Same definitional check for the abstraction-class decider."""
+    rng = random.Random(800 + seed)
+    for q1, q2 in query_pair_family(QueryClass.CRPQ, QueryClass.CRPQ,
+                                    count=2, seed=800 + seed):
+        try:
+            result = contains(q1, q2, semantics,
+                              max_classes=4000, max_candidates=20000)
+        except Exception:
+            continue  # budget blowups are exercised elsewhere
+        if result.verdict is not Verdict.CONTAINED:
+            continue
+        for _ in range(3):
+            graph = random_word_graph(rng, q1.alphabet | q2.alphabet | {"a"},
+                                      num_nodes=4, num_edges=6)
+            left = evaluate(q1, graph, semantics)
+            right = evaluate(q2, graph, semantics)
+            assert left <= right, (semantics, seed, str(q1), str(q2))

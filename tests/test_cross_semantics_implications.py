@@ -1,0 +1,117 @@
+"""§4.1's cross-semantics implications and randomized reduction sweeps.
+
+The paper observes (after Prop 4.6): ⊆q-inj implies ⊆st, and ⊆a-inj
+implies ⊆st, while q-inj and a-inj containment are incomparable.  We
+property-check the two implications on random star-free pairs (where all
+three deciders are exact), and run randomized agreement sweeps for the
+GCP2 and QBF reductions against brute force.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.containment.api import contains
+from repro.containment.result import Verdict
+from repro.queries.crpq import QueryClass
+
+
+class TestImplications:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_qinj_and_ainj_imply_standard(self, seed):
+        from repro.analysis.workloads import query_pair_family
+
+        for q1, q2 in query_pair_family(QueryClass.CRPQ_FIN,
+                                        QueryClass.CRPQ_FIN,
+                                        count=3, seed=200 + seed):
+            st = bool(contains(q1, q2, "st"))
+            qinj = bool(contains(q1, q2, "q-inj"))
+            ainj = bool(contains(q1, q2, "a-inj"))
+            assert not qinj or st, (seed, str(q1), str(q2))
+            assert not ainj or st, (seed, str(q1), str(q2))
+
+    def test_incomparability_witnesses_exist(self):
+        """Example 4.7 gives both directions of incomparability; assert
+        the deciders see them (q-inj ⊄⇒ a-inj and vice versa)."""
+        from repro.queries.parser import parse_query
+
+        q1 = parse_query("Q() :- x -a-> y, y -b-> z")
+        q2 = parse_query("Q() :- x -[ab]-> y")
+        q1p = parse_query("Q() :- x -a-> y, x -b-> y")
+        q2p = parse_query("Q() :- x -a-> y, u -b-> v")
+        assert bool(contains(q1, q2, "q-inj")) and not bool(
+            contains(q1, q2, "a-inj")
+        )
+        assert bool(contains(q1p, q2p, "a-inj")) and not bool(
+            contains(q1p, q2p, "q-inj")
+        )
+
+
+def random_graph_instance(rng, num_vertices=4, edge_probability=0.5):
+    vertices = [f"n{i}" for i in range(num_vertices)]
+    edges = [
+        (u, v)
+        for u, v in itertools.combinations(vertices, 2)
+        if rng.random() < edge_probability
+    ]
+    return edges, vertices
+
+
+class TestGCP2Sweep:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_instances(self, seed):
+        from repro.reductions import gcp2
+
+        rng = random.Random(300 + seed)
+        edges, vertices = random_graph_instance(rng, num_vertices=3)
+        n = 2
+        positive = gcp2.gcp2_brute_force(edges, vertices, n) is not None
+        q1, q2 = gcp2.build_reduction(edges, vertices, n)
+        result = contains(q1, q2, "q-inj")
+        assert (result.verdict is Verdict.NOT_CONTAINED) == positive, (
+            seed, edges
+        )
+
+
+def random_formula(rng, num_universal=1, num_existential=1, num_clauses=2):
+    from repro.reductions.qbf import ForallExistsQBF
+
+    clauses = []
+    for _ in range(num_clauses):
+        clause = []
+        width = rng.randint(1, 2)
+        for _ in range(width):
+            if num_universal and rng.random() < 0.5:
+                clause.append(("x", rng.randint(1, num_universal),
+                               rng.random() < 0.5))
+            else:
+                clause.append(("y", rng.randint(1, num_existential),
+                               rng.random() < 0.5))
+        clauses.append(tuple(clause))
+    return ForallExistsQBF(num_universal, num_existential, clauses)
+
+
+class TestQBFSweep:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_formulas(self, seed):
+        from repro.reductions import qbf
+
+        rng = random.Random(400 + seed)
+        formula = random_formula(rng)
+        expected = formula.is_valid()
+        q1, q2 = qbf.build_reduction(formula)
+        result = contains(q1, q2, "a-inj")
+        assert bool(result) == expected, (seed, formula.clauses)
+
+    @pytest.mark.parametrize("seed", range(2))
+    def test_two_universal_formulas(self, seed):
+        from repro.reductions import qbf
+
+        rng = random.Random(500 + seed)
+        formula = random_formula(rng, num_universal=2, num_existential=1,
+                                 num_clauses=2)
+        expected = formula.is_valid()
+        q1, q2 = qbf.build_reduction(formula)
+        result = contains(q1, q2, "a-inj")
+        assert bool(result) == expected, (seed, formula.clauses)

@@ -1,0 +1,146 @@
+"""Tests for expansions, expansion profiles, atom-relatedness and
+a-inj-expansions (§2.2, §4.1)."""
+
+import pytest
+
+from repro.errors import SearchBudgetExceeded
+from repro.queries.parser import parse_query
+from repro.semantics.expansion import (
+    Expansion,
+    all_expansions,
+    atom_injective_expansions,
+    expansion_for_profile,
+    expansions,
+)
+
+
+class TestExpansionConstruction:
+    def test_word_expansion_creates_fresh_path(self):
+        q = parse_query("Q(x, y) :- x -[(ab)*]-> y")
+        e = expansion_for_profile(q, [("a", "b")])
+        assert len(e.cq.atoms) == 2
+        assert len(e.cq.variables) == 3  # x, fresh, y
+
+    def test_epsilon_expansion_collapses_endpoints(self):
+        # The paper's example E1(x,x) = x -a-> z ∧ z -b-> x from
+        # Q(x,y) = x -(ab)*-> y ∧ y -c*-> x with profile (ab, ε).
+        q = parse_query("Q(x, y) :- x -[(ab)*]-> y, y -[c*]-> x")
+        e = expansion_for_profile(q, [("a", "b"), ()])
+        assert len(set(e.cq.head)) == 1  # x and y collapsed
+        assert len(e.cq.atoms) == 2
+
+    def test_second_paper_example(self):
+        # E2(x,y) = x -a-> z ∧ z -b-> y ∧ y -c-> x (profile ab, c).
+        q = parse_query("Q(x, y) :- x -[(ab)*]-> y, y -[c*]-> x")
+        e = expansion_for_profile(q, [("a", "b"), ("c",)])
+        assert len(e.cq.head) == 2
+        assert len(set(e.cq.head)) == 2
+        assert len(e.cq.atoms) == 3
+
+    def test_profile_arity_checked(self):
+        q = parse_query("Q() :- x -[a]-> y")
+        with pytest.raises(ValueError):
+            Expansion(q, [])
+
+    def test_loop_atom_expansion(self):
+        q = parse_query("Q() :- x -[(ab)^+]-> x")
+        e = expansion_for_profile(q, [("a", "b")])
+        # x -a-> z -b-> x: a 2-cycle through x.
+        assert len(e.cq.variables) == 2
+
+    def test_shared_variables_glue_atoms(self):
+        q = parse_query("Q() :- x -[a]-> y, y -[b]-> z")
+        e = expansion_for_profile(q, [("a",), ("b",)])
+        g = e.cq.as_graph()
+        assert g.node_count() == 3
+
+
+class TestAtomRelatedness:
+    def test_single_atom_relates_all_path_variables(self):
+        q = parse_query("Q() :- x -[abc]-> y")
+        e = expansion_for_profile(q, [("a", "b", "c")])
+        pairs = e.atom_related_pairs()
+        # 4 variables on the path, all pairwise related: C(4,2) = 6.
+        assert len(pairs) == 6
+
+    def test_different_atoms_not_related(self):
+        q = parse_query("Q() :- x -[a]-> y, u -[b]-> v")
+        e = expansion_for_profile(q, [("a",), ("b",)])
+        pairs = {frozenset(p) for p in e.atom_related_pairs()}
+        assert frozenset(("x", "y")) in pairs
+        assert frozenset(("u", "v")) in pairs
+        assert frozenset(("x", "u")) not in pairs
+
+    def test_epsilon_relates_collapsed_pair(self):
+        q = parse_query("Q() :- x -[a*]-> y, x -[b]-> z")
+        e = expansion_for_profile(q, [(), ("b",)])
+        # x and y collapsed into one variable; the ε-atom relates the
+        # (now single) variable to itself — no pair produced.
+        related = e.atom_related_pairs()
+        assert all(a != b for a, b in related)
+
+
+class TestEnumeration:
+    def test_bounded_enumeration_counts(self):
+        q = parse_query("Q() :- x -[a*]-> y")
+        words = [e.profile[0] for e in expansions(q, 3)]
+        assert words == [(), ("a",), ("a", "a"), ("a", "a", "a")]
+
+    def test_all_expansions_finite(self):
+        q = parse_query("Q() :- x -[a+bc]-> y, z -[d]-> w")
+        exps = list(all_expansions(q))
+        assert len(exps) == 2  # (a|bc) × (d)
+
+    def test_all_expansions_rejects_stars(self):
+        q = parse_query("Q() :- x -[a*]-> y")
+        with pytest.raises(ValueError):
+            list(all_expansions(q))
+
+    def test_budget(self):
+        q = parse_query("Q() :- x -[(a+b)*]-> y")
+        with pytest.raises(SearchBudgetExceeded):
+            list(expansions(q, 8, max_count=10))
+
+
+class TestAInjExpansions:
+    def test_identity_comes_first(self):
+        q = parse_query("Q() :- x -[a]-> y, u -[b]-> v")
+        e = expansion_for_profile(q, [("a",), ("b",)])
+        first = next(atom_injective_expansions(e))
+        assert first.is_trivial()
+
+    def test_quotients_avoid_atom_related_merges(self):
+        q = parse_query("Q() :- x -[ab]-> y")
+        e = expansion_for_profile(q, [("a", "b")])
+        quotients = list(atom_injective_expansions(e))
+        # All 3 path variables pairwise related: only the identity.
+        assert len(quotients) == 1
+
+    def test_cross_atom_merges_enumerated(self):
+        # Example 4.7's F: from x -a-> y ∧ y -b-> z identify x and z.
+        q = parse_query("Q() :- x -[a]-> y, y -[b]-> z")
+        e = expansion_for_profile(q, [("a",), ("b",)])
+        quotients = list(atom_injective_expansions(e))
+        shapes = {len(f.cq.variables) for f in quotients}
+        assert shapes == {2, 3}  # identity and the x=z merge
+        merged = [f for f in quotients if len(f.cq.variables) == 2][0]
+        g = merged.cq.as_graph()
+        # The merge creates a 2-cycle x -a-> y -b-> x.
+        assert g.node_count() == 2 and g.edge_count() == 2
+
+    def test_quotient_budget(self):
+        q = parse_query(
+            "Q() :- x1 -[a]-> y1, x2 -[a]-> y2, x3 -[a]-> y3, x4 -[a]-> y4"
+        )
+        e = expansion_for_profile(q, [("a",)] * 4)
+        with pytest.raises(SearchBudgetExceeded):
+            list(atom_injective_expansions(e, max_count=3))
+
+    def test_quotient_cq_head_follows_merge(self):
+        q = parse_query("Q(x, z) :- x -[a]-> y, y -[b]-> z")
+        e = expansion_for_profile(q, [("a",), ("b",)])
+        merged = [
+            f for f in atom_injective_expansions(e)
+            if len(f.cq.variables) == 2
+        ][0]
+        assert merged.cq.head[0] == merged.cq.head[1]

@@ -1,0 +1,85 @@
+"""Extra coverage for the graph generators and workload helpers."""
+
+import random
+
+import pytest
+
+from repro.analysis.workloads import _coerce_atoms, random_language
+from repro.graphdb import generators
+from repro.queries.crpq import QueryClass
+from repro.regular.parser import parse_regex
+from repro.semantics.rpq import simple_path_pairs, standard_pairs
+
+
+class TestTwoLaneRoad:
+    def test_shape(self):
+        g = generators.two_lane_road(2)
+        assert ("src",) in g.nodes and ("dst",) in g.nodes
+        # 2 lanes × 2 edges + 2×3 bridges ×2 directions + 4 connectors.
+        assert g.edge_count() == 4 + 6 + 4
+
+    def test_many_simple_paths(self):
+        g = generators.two_lane_road(2, labels=("a", "a"), bridge_label="a")
+        pairs = simple_path_pairs(g, parse_regex("a^+"))
+        assert (("src",), ("dst",)) in pairs
+
+
+class TestFigure2Shapes:
+    def test_g_edges(self):
+        g = generators.figure2_graph()
+        assert g.node_count() == 3 and g.edge_count() == 4
+
+    def test_g_prime_edges(self):
+        g = generators.figure2_graph_prime()
+        assert g.node_count() == 7 and g.edge_count() == 9
+
+    def test_g_prime_walk_exists_but_no_simple_path(self):
+        g = generators.figure2_graph_prime()
+        walks = standard_pairs(g, parse_regex("(ab)*"))
+        simple = simple_path_pairs(g, parse_regex("(ab)*"))
+        assert ("u", "v") in walks
+        assert ("u", "v") not in simple
+
+
+class TestLabeledShapes:
+    def test_cycle_wraps(self):
+        g = generators.labeled_cycle("abc")
+        pairs = standard_pairs(g, parse_regex("abcabc"))
+        assert ("c0", "c0") in pairs
+
+    def test_grid_custom_labels(self):
+        g = generators.grid(2, 2, right_label="x", down_label="y")
+        assert g.alphabet == {"x", "y"}
+
+
+class TestWorkloadInternals:
+    def test_coerce_atoms_downgrades(self):
+        from repro.queries.atoms import Atom
+        from repro.regular.syntax import Symbol, star
+
+        rng = random.Random(0)
+        atoms = [Atom("x", star(Symbol("a")), "y")]
+        coerced = _coerce_atoms(atoms, QueryClass.CQ, rng, ("a", "b"))
+        assert isinstance(coerced[0].language, Symbol)
+
+    def test_coerce_atoms_keeps_weaker(self):
+        from repro.queries.atoms import Atom
+        from repro.regular.syntax import Symbol
+
+        rng = random.Random(0)
+        atoms = [Atom("x", Symbol("a"), "y")]
+        coerced = _coerce_atoms(atoms, QueryClass.CRPQ, rng, ("a", "b"))
+        assert coerced[0].language == Symbol("a")
+
+    def test_random_language_crpq_has_star(self):
+        rng = random.Random(5)
+        for _ in range(20):
+            language = random_language(rng, ("a", "b"), QueryClass.CRPQ)
+            assert not language.is_star_free()
+
+    def test_social_graph_sizes(self):
+        g = generators.social_knowledge_graph(num_people=5, num_papers=3,
+                                              seed=0)
+        people = [n for n in g.nodes if str(n).startswith("person")]
+        papers = [n for n in g.nodes if str(n).startswith("paper")]
+        assert len(people) == 5 and len(papers) == 3

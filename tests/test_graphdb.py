@@ -1,0 +1,205 @@
+"""Tests for the graph-database substrate and path machinery."""
+
+import pytest
+
+from repro.graphdb.graph import Edge, GraphDatabase
+from repro.graphdb.paths import (
+    Path,
+    all_paths_up_to,
+    simple_cycles_through,
+    simple_paths,
+)
+from repro.graphdb import generators
+from repro.regular.parser import parse_regex
+
+
+class TestGraphDatabase:
+    def test_add_edge_adds_nodes(self):
+        g = GraphDatabase()
+        g.add_edge(1, "a", 2)
+        assert g.nodes == {1, 2}
+        assert g.has_edge(1, "a", 2)
+
+    def test_duplicate_edges_are_set_semantics(self):
+        g = GraphDatabase()
+        g.add_edge(1, "a", 2)
+        g.add_edge(1, "a", 2)
+        assert g.edge_count() == 1
+
+    def test_parallel_labels_allowed(self):
+        g = GraphDatabase()
+        g.add_edge(1, "a", 2)
+        g.add_edge(1, "b", 2)
+        assert g.edge_count() == 2
+        assert g.alphabet == {"a", "b"}
+
+    def test_successors_predecessors(self):
+        g = GraphDatabase(edges=[(1, "a", 2), (1, "b", 3), (2, "a", 3)])
+        assert g.successors(1) == {2, 3}
+        assert g.successors(1, label="a") == {2}
+        assert g.predecessors(3) == {1, 2}
+
+    def test_add_path(self):
+        g = GraphDatabase()
+        g.add_path(["x", "y", "z"], ["a", "b"])
+        assert g.has_edge("x", "a", "y")
+        assert g.has_edge("y", "b", "z")
+
+    def test_add_path_arity_check(self):
+        g = GraphDatabase()
+        with pytest.raises(ValueError):
+            g.add_path(["x", "y"], ["a", "b"])
+
+    def test_rename_nodes_merges(self):
+        g = GraphDatabase(edges=[(1, "a", 2), (2, "a", 3)])
+        merged = g.rename_nodes({3: 1})
+        assert merged.nodes == {1, 2}
+        assert merged.has_edge(2, "a", 1)
+
+    def test_induced_subgraph(self):
+        g = GraphDatabase(edges=[(1, "a", 2), (2, "b", 3)])
+        sub = g.induced_subgraph({1, 2})
+        assert sub.edges == {Edge(1, "a", 2)}
+
+    def test_disjoint_union(self):
+        g = GraphDatabase(edges=[(1, "a", 2)])
+        h = GraphDatabase(edges=[(1, "b", 2)])
+        u = g.disjoint_union(h)
+        assert u.node_count() == 4
+        assert u.edge_count() == 2
+
+    def test_equality_and_hash(self):
+        g = GraphDatabase(edges=[(1, "a", 2)])
+        h = GraphDatabase(edges=[(1, "a", 2)])
+        assert g == h
+        assert hash(g) == hash(h)
+
+    def test_copy_is_independent(self):
+        g = GraphDatabase(edges=[(1, "a", 2)])
+        c = g.copy()
+        c.add_edge(2, "a", 3)
+        assert g.edge_count() == 1
+
+
+class TestPath:
+    def test_label_and_internal_nodes(self):
+        p = Path(("x", "y", "z"), ("a", "b"))
+        assert p.label == ("a", "b")
+        assert p.internal_nodes() == {"y"}
+        assert p.source == "x" and p.target == "z"
+
+    def test_simple_path_detection(self):
+        assert Path(("x", "y"), ("a",)).is_simple_path()
+        assert not Path(("x", "y", "x"), ("a", "b")).is_simple_path()
+
+    def test_simple_cycle_detection(self):
+        assert Path(("x", "y", "x"), ("a", "b")).is_simple_cycle()
+        assert not Path(("x", "y", "z"), ("a", "b")).is_simple_cycle()
+        assert not Path(("x", "y", "y", "x"), ("a", "b", "c")).is_simple_cycle()
+
+    def test_arity_check(self):
+        with pytest.raises(ValueError):
+            Path(("x",), ("a",))
+
+
+class TestSimplePaths:
+    def graph(self):
+        # u -a-> v -b-> w with a shortcut u -c-> w and a back edge w -a-> u.
+        return GraphDatabase(
+            edges=[("u", "a", "v"), ("v", "b", "w"), ("u", "c", "w"),
+                   ("w", "a", "u")]
+        )
+
+    def test_unconstrained(self):
+        paths = list(simple_paths(self.graph(), "u", "w"))
+        labels = {p.label for p in paths}
+        assert labels == {("a", "b"), ("c",)}
+
+    def test_language_constrained(self):
+        paths = list(simple_paths(self.graph(), "u", "w",
+                                  language=parse_regex("ab")))
+        assert [p.label for p in paths] == [("a", "b")]
+
+    def test_empty_path_only_for_equal_endpoints(self):
+        paths = list(simple_paths(self.graph(), "u", "u",
+                                  language=parse_regex("a*")))
+        assert [p.label for p in paths] == [()]
+
+    def test_no_empty_when_language_lacks_epsilon(self):
+        paths = list(simple_paths(self.graph(), "u", "u",
+                                  language=parse_regex("a^+")))
+        assert paths == []
+
+    def test_forbidden_nodes(self):
+        paths = list(simple_paths(self.graph(), "u", "w", forbidden={"v"}))
+        assert {p.label for p in paths} == {("c",)}
+
+    def test_forbidden_endpoint_kills_search(self):
+        assert list(simple_paths(self.graph(), "u", "w", forbidden={"u"})) == []
+
+    def test_paths_are_simple(self):
+        big = generators.two_lane_road(3)
+        for p in simple_paths(big, ("src",), ("dst",)):
+            assert p.is_simple_path()
+
+
+class TestSimpleCycles:
+    def test_cycle_through_node(self):
+        g = GraphDatabase(edges=[("u", "a", "v"), ("v", "b", "u")])
+        cycles = list(simple_cycles_through(g, "u", include_empty=False))
+        assert [c.label for c in cycles] == [("a", "b")]
+        assert cycles[0].is_simple_cycle()
+
+    def test_empty_cycle_included_when_epsilon(self):
+        g = GraphDatabase(nodes=["u"])
+        cycles = list(
+            simple_cycles_through(g, "u", language=parse_regex("a*"))
+        )
+        assert [c.label for c in cycles] == [()]
+
+    def test_language_filters_cycles(self):
+        g = GraphDatabase(
+            edges=[("u", "a", "v"), ("v", "b", "u"), ("u", "c", "u")]
+        )
+        cycles = list(
+            simple_cycles_through(g, "u", language=parse_regex("c"),
+                                  include_empty=False)
+        )
+        assert [c.label for c in cycles] == [("c",)]
+
+    def test_forbidden_internal(self):
+        g = GraphDatabase(edges=[("u", "a", "v"), ("v", "b", "u")])
+        assert list(
+            simple_cycles_through(g, "u", forbidden={"v"}, include_empty=False)
+        ) == []
+
+
+class TestAllPaths:
+    def test_counts_walks(self):
+        g = GraphDatabase(edges=[("u", "a", "u")])
+        walks = list(all_paths_up_to(g, "u", 3))
+        assert len(walks) == 4  # lengths 0..3
+
+
+class TestGenerators:
+    def test_labeled_path(self):
+        g = generators.labeled_path("abc")
+        assert g.node_count() == 4 and g.edge_count() == 3
+
+    def test_labeled_cycle(self):
+        g = generators.labeled_cycle("ab")
+        assert g.node_count() == 2 and g.edge_count() == 2
+
+    def test_uniform_random_deterministic(self):
+        a = generators.uniform_random(5, 8, {"a", "b"}, seed=3)
+        b = generators.uniform_random(5, 8, {"a", "b"}, seed=3)
+        assert a == b
+
+    def test_grid(self):
+        g = generators.grid(3, 2)
+        assert g.node_count() == 6
+        assert g.edge_count() == 2 * 2 + 3 * 1  # rights + downs
+
+    def test_social_graph_alphabet(self):
+        g = generators.social_knowledge_graph()
+        assert {"knows", "wrote", "cites", "lives", "near"} <= set(g.alphabet)

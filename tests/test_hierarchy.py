@@ -1,0 +1,122 @@
+"""Property-based tests (hypothesis) for the core invariants:
+
+- Remark 2.1: Q(G)q-inj ⊆ Q(G)a-inj ⊆ Q(G)st;
+- Prop 2.2 / 2.3: direct evaluation equals the expansion characterization;
+- quotient monotonicity of plain homomorphisms (used by Theorem 6.2's
+  mechanism).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.graphdb.graph import GraphDatabase
+from repro.queries.atoms import Atom
+from repro.queries.crpq import CRPQ
+from repro.regular.syntax import Symbol, concat, plus, star, union
+from repro.semantics.base import Semantics
+from repro.semantics.evaluation import evaluate
+
+from tests.conftest import reference_evaluate
+
+
+@st.composite
+def small_regexes(draw):
+    depth = draw(st.integers(0, 2))
+
+    def build(d):
+        if d == 0:
+            return Symbol(draw(st.sampled_from("ab")))
+        kind = draw(st.integers(0, 3))
+        if kind == 0:
+            return concat(build(d - 1), build(d - 1))
+        if kind == 1:
+            return union(build(d - 1), build(d - 1))
+        if kind == 2:
+            return star(build(d - 1))
+        return plus(build(d - 1))
+
+    return build(depth)
+
+
+@st.composite
+def small_queries(draw):
+    num_vars = draw(st.integers(2, 3))
+    variables = [f"v{i}" for i in range(num_vars)]
+    num_atoms = draw(st.integers(1, 2))
+    atoms = []
+    for _ in range(num_atoms):
+        atoms.append(
+            Atom(
+                draw(st.sampled_from(variables)),
+                draw(small_regexes()),
+                draw(st.sampled_from(variables)),
+            )
+        )
+    arity = draw(st.integers(0, 1))
+    head = tuple(draw(st.sampled_from(variables)) for _ in range(arity))
+    return CRPQ(head, tuple(atoms), extra_variables=variables)
+
+
+@st.composite
+def small_graphs(draw):
+    num_nodes = draw(st.integers(2, 4))
+    graph = GraphDatabase(nodes=range(num_nodes))
+    num_edges = draw(st.integers(1, 6))
+    for _ in range(num_edges):
+        graph.add_edge(
+            draw(st.integers(0, num_nodes - 1)),
+            draw(st.sampled_from("ab")),
+            draw(st.integers(0, num_nodes - 1)),
+        )
+    return graph
+
+
+class TestHierarchyProperty:
+    @given(small_queries(), small_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_remark_2_1(self, query, graph):
+        qinj = evaluate(query, graph, Semantics.QUERY_INJECTIVE)
+        ainj = evaluate(query, graph, Semantics.ATOM_INJECTIVE)
+        standard = evaluate(query, graph, Semantics.STANDARD)
+        assert qinj <= ainj <= standard
+
+
+class TestExpansionCharacterization:
+    @given(small_queries(), small_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_props_2_2_and_2_3(self, query, graph):
+        bound = graph.node_count() + 1
+        for semantics in (Semantics.QUERY_INJECTIVE, Semantics.ATOM_INJECTIVE):
+            fast = evaluate(query, graph, semantics)
+            slow = reference_evaluate(query, graph, semantics,
+                                      max_word_length=bound)
+            assert fast == slow
+
+    @given(small_queries(), small_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_prop_2_2_standard_lower_bound(self, query, graph):
+        # The bounded reference under-approximates standard semantics.
+        fast = evaluate(query, graph, Semantics.STANDARD)
+        slow = reference_evaluate(query, graph, Semantics.STANDARD,
+                                  max_word_length=3)
+        assert slow <= fast
+
+
+class TestQuotientMonotonicity:
+    @given(small_queries(), small_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_standard_answers_survive_quotients(self, query, graph):
+        """Merging graph nodes can only grow Q(G)st (homs compose with
+        the quotient map) — the monotonicity that makes anti-monotone
+        probes under a-inj semantics (Theorem 6.2) interesting."""
+        nodes = sorted(graph.nodes, key=repr)
+        if len(nodes) < 2:
+            return
+        mapping = {nodes[1]: nodes[0]}
+        quotient = graph.rename_nodes(mapping)
+        before = evaluate(query, graph, Semantics.STANDARD)
+        after = evaluate(query, quotient, Semantics.STANDARD)
+        projected = {
+            tuple(mapping.get(node, node) for node in answer)
+            for answer in before
+        }
+        assert projected <= after

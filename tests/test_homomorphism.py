@@ -1,0 +1,137 @@
+"""Tests for the homomorphism engine: plain, injective, disequality, and
+CQ→CQ variants."""
+
+import pytest
+
+from repro.graphdb.graph import GraphDatabase
+from repro.homomorphism.matcher import (
+    cq_homomorphisms,
+    find_homomorphism,
+    has_cq_homomorphism,
+    has_homomorphism,
+    homomorphisms,
+)
+from repro.queries.atoms import CQAtom
+from repro.queries.cq import CQ
+
+
+def triangle():
+    return GraphDatabase(
+        edges=[("u", "a", "v"), ("v", "a", "w"), ("w", "a", "u")]
+    )
+
+
+def path_cq(length, label="a"):
+    atoms = [CQAtom(f"x{i}", label, f"x{i+1}") for i in range(length)]
+    return CQ((), atoms)
+
+
+class TestPlainHomomorphism:
+    def test_path_into_cycle(self):
+        # A long path maps homomorphically onto a 3-cycle (wrap around).
+        assert has_homomorphism(path_cq(5), triangle())
+
+    def test_label_mismatch(self):
+        q = CQ((), [CQAtom("x", "b", "y")])
+        assert not has_homomorphism(q, triangle())
+
+    def test_loop_atom_needs_loop_edge(self):
+        q = CQ((), [CQAtom("x", "a", "x")])
+        assert not has_homomorphism(q, triangle())
+        g = triangle()
+        g.add_edge("u", "a", "u")
+        assert has_homomorphism(q, g)
+
+    def test_target_tuple_fixes_head(self):
+        q = CQ(("x", "y"), [CQAtom("x", "a", "y")])
+        assert has_homomorphism(q, triangle(), target_tuple=("u", "v"))
+        assert not has_homomorphism(q, triangle(), target_tuple=("u", "w"))
+
+    def test_inconsistent_repeated_head(self):
+        q = CQ(("x", "x"), [CQAtom("x", "a", "y")])
+        assert not has_homomorphism(q, triangle(), target_tuple=("u", "v"))
+        assert has_homomorphism(q, triangle(), target_tuple=("u", "u"))
+
+    def test_fixed_partial_assignment(self):
+        q = path_cq(2)
+        assert has_homomorphism(q, triangle(), fixed={"x0": "u"})
+
+    def test_all_homomorphisms_enumerated(self):
+        q = CQ((), [CQAtom("x", "a", "y")])
+        assert len(list(homomorphisms(q, triangle()))) == 3
+
+    def test_empty_query_maps_everywhere(self):
+        q = CQ(("x",), [], extra_variables=["x"])
+        homs = list(homomorphisms(q, triangle()))
+        assert len(homs) == 3
+
+
+class TestInjectiveHomomorphism:
+    def test_injectivity_blocks_wraparound(self):
+        # 4-node path cannot injectively map into a 3-node cycle.
+        assert not has_homomorphism(path_cq(3), triangle(), injective=True)
+        assert has_homomorphism(path_cq(2), triangle(), injective=True)
+
+    def test_returned_map_is_injective(self):
+        hom = find_homomorphism(path_cq(2), triangle(), injective=True)
+        assert len(set(hom.values())) == len(hom)
+
+    def test_injective_with_fixed_conflict(self):
+        q = path_cq(2)
+        assert (
+            find_homomorphism(
+                q, triangle(), injective=True,
+                fixed={"x0": "u", "x2": "u"},
+            )
+            is None
+        )
+
+
+class TestDisequalities:
+    def test_distinct_pairs_respected(self):
+        q = path_cq(3)  # wraps around a triangle: x0 and x3 coincide
+        assert has_homomorphism(q, triangle())
+        assert not has_homomorphism(
+            q, triangle(), distinct_pairs=[("x0", "x3")]
+        )
+
+    def test_self_disequality_unsatisfiable(self):
+        q = path_cq(1)
+        assert not has_homomorphism(q, triangle(),
+                                    distinct_pairs=[("x0", "x0")])
+
+
+class TestCQHomomorphisms:
+    def test_core_direction(self):
+        # x -a-> y maps into p -a-> q ∧ q -a-> r, but not conversely:
+        # folding the 2-path onto one edge would need an a-edge out of y.
+        small = CQ((), [CQAtom("x", "a", "y")])
+        big = CQ((), [CQAtom("p", "a", "q"), CQAtom("q", "a", "r")])
+        assert has_cq_homomorphism(small, big)
+        assert not has_cq_homomorphism(big, small)
+
+    def test_fold_onto_loop(self):
+        # With a loop atom the 2-path does fold.
+        loop = CQ((), [CQAtom("x", "a", "x")])
+        big = CQ((), [CQAtom("p", "a", "q"), CQAtom("q", "a", "r")])
+        assert has_cq_homomorphism(big, loop)
+
+    def test_free_variables_map_positionally(self):
+        q1 = CQ(("x",), [CQAtom("x", "a", "y")])
+        q2 = CQ(("p",), [CQAtom("p", "a", "q")])
+        homs = list(cq_homomorphisms(q1, q2))
+        assert homs and all(h["x"] == "p" for h in homs)
+
+    def test_head_arity_mismatch(self):
+        q1 = CQ(("x", "y"), [CQAtom("x", "a", "y")])
+        q2 = CQ(("p",), [CQAtom("p", "a", "q")])
+        with pytest.raises(ValueError):
+            list(cq_homomorphisms(q1, q2))
+
+    def test_injective_cq_hom(self):
+        # Example 4.7's Q2' → Q1' failure: x-a->y ∧ x'-b->y' cannot map
+        # injectively into x-a->y ∧ x-b->y (only 2 nodes for 4 variables).
+        q2p = CQ((), [CQAtom("x", "a", "y"), CQAtom("u", "b", "v")])
+        q1p = CQ((), [CQAtom("x", "a", "y"), CQAtom("x", "b", "y")])
+        assert has_cq_homomorphism(q2p, q1p)
+        assert not has_cq_homomorphism(q2p, q1p, injective=True)

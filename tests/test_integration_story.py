@@ -1,0 +1,102 @@
+"""End-to-end integration story: the full library workflow in one test
+file — build a database, evaluate under every semantics, audit a rewrite
+with containment, certify the verdict, ship the counterexample through
+serialization, and cross-check everything.
+
+This mirrors the intended downstream usage and exercises the public API
+surface as a whole rather than module by module.
+"""
+
+import pytest
+
+from repro import (
+    GraphDatabase,
+    Semantics,
+    Verdict,
+    contains,
+    evaluate,
+    in_evaluation,
+    parse_query,
+)
+from repro.containment.certificates import containment_certificate
+from repro.io import dumps, loads
+from repro.optimize import equivalent, remove_redundant_atoms
+from repro.semantics.trails import evaluate_trails
+
+
+@pytest.fixture(scope="module")
+def delivery_network():
+    """A small logistics graph: depots, trucks routes (r), transfers (t)."""
+    g = GraphDatabase()
+    g.add_path(["depotA", "hub1", "hub2", "depotB"], ["r", "r", "r"])
+    g.add_edge("hub1", "t", "hub3")
+    g.add_edge("hub3", "t", "hub2")
+    g.add_edge("depotB", "r", "depotA")
+    g.add_edge("hub2", "t", "hub1")
+    return g
+
+
+class TestWorkflow:
+    def test_step1_reachability_census(self, delivery_network):
+        route = parse_query("Q(x, y) :- x -[r^+]-> y")
+        st = evaluate(route, delivery_network, Semantics.STANDARD)
+        ainj = evaluate(route, delivery_network, Semantics.ATOM_INJECTIVE)
+        assert ("depotA", "depotB") in ainj
+        # The r-cycle lets walks wrap; simple paths cannot.
+        assert ainj <= st
+
+    def test_step2_disjoint_routes(self, delivery_network):
+        redundant = parse_query(
+            "Q(x, y) :- x -[r^+ + (r+t)^+]-> y, x -[(r+t)^+]-> y"
+        )
+        qinj = evaluate(redundant, delivery_network, "q-inj")
+        st = evaluate(redundant, delivery_network, "st")
+        assert qinj <= st
+        # hub1 → hub2 has two internally disjoint routes (direct r, and
+        # t-transfer via hub3).
+        assert ("hub1", "hub2") in qinj
+
+    def test_step3_rewrite_audit(self):
+        original = parse_query("Q() :- x -r-> y, y -r-> z")
+        fused = parse_query("Q() :- x -[rr]-> y")
+        decided_st, _f, _b = equivalent(original, fused, "st")
+        assert decided_st is True
+        result_ainj = contains(original, fused, "a-inj")
+        assert result_ainj.verdict is Verdict.NOT_CONTAINED
+
+    def test_step4_certificate_roundtrip(self):
+        original = parse_query("Q() :- x -r-> y, y -r-> z")
+        fused = parse_query("Q() :- x -[rr]-> y")
+        verdict, certificate = containment_certificate(original, fused,
+                                                       "q-inj")
+        assert verdict is Verdict.CONTAINED
+        assert certificate.verify()
+
+    def test_step5_ship_counterexample(self):
+        original = parse_query("Q() :- x -r-> y, y -r-> z")
+        fused = parse_query("Q() :- x -[rr]-> y")
+        witness = contains(original, fused, "a-inj").counterexample
+        payload = dumps(witness.to_crpq())
+        received = loads(payload)
+        graph = received.as_cq().as_graph()
+        assert in_evaluation(original, graph, received.head, "a-inj")
+        assert not in_evaluation(fused, graph, received.head, "a-inj")
+
+    def test_step6_minimize_respecting_semantics(self):
+        query = parse_query("Q(x) :- x -r-> y, x -r-> z, u -t-> v")
+        smaller_st, removed_st = remove_redundant_atoms(query, "st")
+        smaller_qinj, removed_qinj = remove_redundant_atoms(query, "q-inj")
+        assert len(smaller_st.atoms) < len(query.atoms)
+        # Under q-inj the duplicate r-atom demands a second distinct
+        # endpoint: it must stay.
+        assert len(smaller_qinj.atoms) >= len(smaller_st.atoms)
+
+    def test_step7_trail_view(self, delivery_network):
+        # Cypher-style: routes may revisit hubs but not road segments.
+        loop = parse_query("Q(x) :- x -[r^+]-> x")
+        trail_answers = evaluate_trails(loop, delivery_network, "atom-trail")
+        simple_answers = evaluate(loop, delivery_network, "a-inj")
+        assert simple_answers <= trail_answers
+
+    def test_step8_graph_roundtrip(self, delivery_network):
+        assert loads(dumps(delivery_network)) == delivery_network

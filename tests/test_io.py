@@ -1,0 +1,117 @@
+"""Round-trip tests for the serialization layer."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.graphdb.graph import GraphDatabase
+from repro.io import (
+    decode_value,
+    dumps,
+    encode_value,
+    graph_from_dict,
+    graph_to_dict,
+    loads,
+    query_from_dict,
+    query_to_dict,
+    regex_from_dict,
+    regex_to_dict,
+)
+from repro.queries.parser import parse_query
+
+from tests.test_regular_nfa import regexes
+from tests.test_hierarchy import small_graphs, small_queries
+
+
+class TestValues:
+    @pytest.mark.parametrize("value", [
+        "a", 7, 3.5, True, None, ("I", 3), ("a", "b", ("nested", 1)),
+    ])
+    def test_roundtrip(self, value):
+        assert decode_value(encode_value(value)) == value
+
+    def test_unsupported(self):
+        with pytest.raises(TypeError):
+            encode_value(object())
+
+    def test_malformed_payload(self):
+        with pytest.raises(ValueError):
+            decode_value({"x": 1})
+
+
+class TestGraphs:
+    def test_roundtrip_tuple_labels(self):
+        g = GraphDatabase(nodes=["lonely"],
+                          edges=[("u", ("I", 1), "v"), (1, "a", 2)])
+        back = graph_from_dict(graph_to_dict(g))
+        assert back == g
+
+    @given(small_graphs())
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_random(self, graph):
+        assert graph_from_dict(graph_to_dict(graph)) == graph
+
+
+class TestRegexes:
+    @given(regexes())
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_random(self, regex):
+        assert regex_from_dict(regex_to_dict(regex)) == regex
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            regex_from_dict({"kind": "lookahead"})
+
+
+class TestQueries:
+    def test_roundtrip_parsed(self):
+        q = parse_query("Q(x, y) :- x -[(ab)*]-> y, y -[c*]-> x")
+        back = query_from_dict(query_to_dict(q))
+        assert back == q
+
+    @given(small_queries())
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_random(self, query):
+        assert query_from_dict(query_to_dict(query)) == query
+
+    def test_isolated_variables_survive(self):
+        q = parse_query("Q(z) :- x -a-> y")
+        back = query_from_dict(query_to_dict(q))
+        assert back.variables == q.variables
+
+
+class TestJSONWrappers:
+    def test_graph_json(self):
+        g = GraphDatabase(edges=[("u", "a", "v")])
+        assert loads(dumps(g)) == g
+
+    def test_query_json_preserves_semantics(self):
+        from repro.semantics.evaluation import evaluate
+
+        q = parse_query("Q(x, y) :- x -[(ab)*]-> y, y -[c*]-> x")
+        g = GraphDatabase(edges=[("u", "a", "v"), ("v", "b", "w"),
+                                 ("w", "c", "v"), ("v", "c", "u")])
+        q2 = loads(dumps(q))
+        g2 = loads(dumps(g))
+        for semantics in ("st", "a-inj", "q-inj"):
+            assert evaluate(q, g, semantics) == evaluate(q2, g2, semantics)
+
+    def test_unknown_type(self):
+        with pytest.raises(ValueError):
+            loads('{"type": "mystery", "data": {}}')
+
+    def test_cannot_serialize_junk(self):
+        with pytest.raises(TypeError):
+            dumps(42)
+
+    def test_witness_shipping_scenario(self):
+        """The intended use: serialize a containment counterexample."""
+        from repro.containment.api import contains
+
+        q1 = parse_query("Q() :- x -a-> y, y -b-> z")
+        q2 = parse_query("Q() :- x -[ab]-> y")
+        witness = contains(q1, q2, "a-inj").counterexample
+        shipped = loads(dumps(witness.to_crpq()))
+        from repro.semantics.evaluation import in_evaluation
+
+        graph = shipped.as_cq().as_graph()
+        assert not in_evaluation(q2, graph, shipped.head, "a-inj")

@@ -1,0 +1,73 @@
+"""Monotonicity properties of evaluation.
+
+Adding edges to a database can only add answers, under *every* semantics
+(new edges add candidate paths and never invalidate existing simple
+paths/trails) — a strong sanity property for all five evaluators.
+Removing the injectivity constraints grows answers (the hierarchy); this
+file adds the edge-monotonicity axis.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.semantics.evaluation import evaluate
+from repro.semantics.trails import evaluate_trails
+
+from tests.test_hierarchy import small_graphs, small_queries
+
+
+@st.composite
+def graph_extension(draw):
+    """A graph plus one extra edge over the same node set."""
+    graph = draw(small_graphs())
+    nodes = sorted(graph.nodes, key=repr)
+    extra = (
+        draw(st.sampled_from(nodes)),
+        draw(st.sampled_from("ab")),
+        draw(st.sampled_from(nodes)),
+    )
+    bigger = graph.copy()
+    bigger.add_edge(*extra)
+    return graph, bigger
+
+
+class TestEdgeMonotonicity:
+    @given(small_queries(), graph_extension())
+    @settings(max_examples=30, deadline=None)
+    def test_three_node_semantics(self, query, pair):
+        graph, bigger = pair
+        for semantics in ("st", "a-inj", "q-inj"):
+            before = evaluate(query, graph, semantics)
+            after = evaluate(query, bigger, semantics)
+            assert before <= after, semantics
+
+    @given(small_queries(), graph_extension())
+    @settings(max_examples=15, deadline=None)
+    def test_trail_semantics(self, query, pair):
+        graph, bigger = pair
+        for semantics in ("atom-trail", "query-trail"):
+            before = evaluate_trails(query, graph, semantics)
+            after = evaluate_trails(query, bigger, semantics)
+            assert before <= after, semantics
+
+
+class TestNodeAdditionNeutrality:
+    @given(small_queries(), small_graphs())
+    @settings(max_examples=20, deadline=None)
+    def test_isolated_node_changes_nothing_for_closed_queries(self, query,
+                                                              graph):
+        """Adding an isolated node never removes answers; it adds answers
+        only through variables that can map to the fresh node (isolated
+        head variables under non-injective semantics, or injective slack
+        under q-inj)."""
+        bigger = graph.copy()
+        bigger.add_node(("fresh", "node"))
+        for semantics in ("st", "a-inj", "q-inj"):
+            before = evaluate(query, graph, semantics)
+            after = evaluate(query, bigger, semantics)
+            assert before <= after, semantics
+            # New answers may only mention the fresh node.
+            for answer in after - before:
+                assert ("fresh", "node") in answer or semantics == "q-inj"

@@ -1,0 +1,110 @@
+"""Tests for the optimization layer: equivalence, redundant-atom removal,
+CQ cores, and the semantics-sensitivity of classical rewrites."""
+
+import pytest
+
+from repro.optimize import (
+    cq_core,
+    core_is_unsound_example,
+    equivalent,
+    remove_redundant_atoms,
+)
+from repro.queries.parser import parse_query
+from repro.semantics.evaluation import evaluate
+
+
+class TestEquivalence:
+    def test_equivalent_pair(self):
+        q1 = parse_query("Q() :- x -[a*]-> y, y -[b]-> z")
+        q2 = parse_query("Q() :- x -[a*b]-> y")
+        decided, forward, backward = equivalent(q1, q2, "st")
+        assert decided is True
+        assert forward.conclusive and backward.conclusive
+
+    def test_inequivalent_pair(self):
+        q1 = parse_query("Q(x, y) :- x -[(ab)*]-> y")
+        q2 = parse_query("Q(x, y) :- x -[(a+b)*]-> y")
+        decided, _f, _b = equivalent(q1, q2, "st")
+        assert decided is False
+
+    def test_undecidable_cell_gives_none(self):
+        q1 = parse_query("Q() :- x -[a*]-> y")
+        q2 = parse_query("Q() :- x -[a*]-> y, u -[b]-> v")
+        decided, _f, _b = equivalent(q1, q2, "a-inj", max_word_length=2)
+        # Forward direction is only bounded (left has a star): undecided
+        # unless a counterexample surfaced.
+        assert decided in (None, False)
+
+
+class TestRedundantAtoms:
+    def test_standard_removes_implied_atom(self):
+        # x -a-> y duplicated via a fresh copy is redundant under st.
+        q = parse_query("Q() :- x -a-> y, u -a-> v")
+        smaller, removed = remove_redundant_atoms(q, "st")
+        assert len(smaller.atoms) == 1
+        assert len(removed) == 1
+
+    def test_qinj_keeps_copy(self):
+        # Under q-inj the two copies demand distinct edges-disjoint images:
+        # removal is unsound and must not happen.
+        q = parse_query("Q() :- x -a-> y, u -a-> v")
+        smaller, removed = remove_redundant_atoms(q, "q-inj")
+        assert len(smaller.atoms) == 2
+        assert removed == []
+
+    def test_head_constraining_atom_kept(self):
+        q = parse_query("Q(x, y) :- x -a-> y")
+        smaller, removed = remove_redundant_atoms(q, "st")
+        assert len(smaller.atoms) == 1
+
+    def test_removal_is_sound(self):
+        """Spot-check soundness: evaluation agrees before/after on a
+        concrete database."""
+        from repro.graphdb.generators import uniform_random
+
+        q = parse_query("Q(x) :- x -a-> y, x -a-> z, u -b-> v")
+        smaller, _removed = remove_redundant_atoms(q, "st")
+        graph = uniform_random(5, 10, {"a", "b"}, seed=2)
+        assert evaluate(q, graph, "st") == evaluate(smaller, graph, "st")
+
+
+class TestCQCore:
+    def test_core_folds_duplicate_component(self):
+        q = parse_query("Q() :- x -a-> y, u -a-> v")
+        core = cq_core(q.as_cq())
+        assert len(core.variables) == 2
+
+    def test_core_of_core_is_fixpoint(self):
+        q = parse_query("Q() :- x -a-> y, y -a-> z, u -a-> v")
+        core = cq_core(q.as_cq())
+        assert cq_core(core) == core
+
+    def test_core_preserves_free_variables(self):
+        q = parse_query("Q(u, v) :- x -a-> y, u -a-> v")
+        core = cq_core(q.as_cq())
+        assert core.head == ("u", "v")
+        # The x,y copy folds onto (u, v); head vars survive.
+        assert {"u", "v"} <= core.variables
+
+    def test_core_equivalent_under_standard(self):
+        from repro.containment.api import contains
+
+        q = parse_query("Q() :- x -a-> y, u -a-> v, y -b-> z")
+        core = cq_core(q.as_cq())
+        assert bool(contains(q, core.to_crpq(), "st"))
+        assert bool(contains(core.to_crpq(), q, "st"))
+
+    def test_triangle_is_its_own_core(self):
+        q = parse_query("Q() :- x -a-> y, y -a-> z, z -a-> x")
+        core = cq_core(q.as_cq())
+        assert len(core.variables) == 3
+
+    def test_core_unsound_under_qinj(self):
+        """The documented caveat: core-minimization changes q-inj
+        semantics."""
+        query, core, graph = core_is_unsound_example()
+        assert len(core.variables) < len(query.variables)
+        full = evaluate(query.to_crpq(), graph, "q-inj")
+        folded = evaluate(core.to_crpq(), graph, "q-inj")
+        assert full != folded
+        assert folded == {()} and full == frozenset()

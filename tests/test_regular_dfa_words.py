@@ -1,0 +1,109 @@
+"""Tests for determinization, complement, language comparison and word
+enumeration."""
+
+import pytest
+
+from repro.errors import SearchBudgetExceeded
+from repro.regular.dfa import (
+    DFA,
+    nfa_language_equal,
+    nfa_language_subset,
+    nfa_subset_counterexample,
+)
+from repro.regular.nfa import NFA
+from repro.regular.parser import parse_regex
+from repro.regular.words import (
+    enumerate_words,
+    language_is_finite,
+    language_words_if_finite,
+    shortest_word,
+)
+
+
+def nfa(pattern):
+    return NFA.from_regex(parse_regex(pattern))
+
+
+class TestDFA:
+    def test_determinization_preserves_language(self):
+        d = DFA.from_nfa(nfa("(a+b)*abb"))
+        assert d.accepts(tuple("abb"))
+        assert d.accepts(tuple("aabb"))
+        assert not d.accepts(tuple("ab"))
+
+    def test_complement(self):
+        d = DFA.from_nfa(nfa("a*")).complement()
+        assert not d.accepts(())
+        assert not d.accepts(("a", "a"))
+        # 'b' is outside the NFA alphabet; the complement is over the
+        # declared alphabet only, so membership of 'b' is simply False
+        # (not in alphabet).
+        assert not d.accepts(("b",))
+
+    def test_complement_over_wider_alphabet(self):
+        d = DFA.from_nfa(nfa("a*"), alphabet={"a", "b"}).complement()
+        assert d.accepts(("b",))
+        assert not d.accepts(("a",))
+
+    def test_roundtrip_to_nfa(self):
+        original = nfa("(ab)*")
+        roundtrip = DFA.from_nfa(original).to_nfa()
+        assert nfa_language_equal(original, roundtrip)
+
+
+class TestLanguageComparison:
+    def test_subset_positive(self):
+        assert nfa_language_subset(nfa("(ab)*"), nfa("(a+b)*"))
+
+    def test_subset_negative(self):
+        assert not nfa_language_subset(nfa("(a+b)*"), nfa("(ab)*"))
+
+    def test_counterexample_is_shortest(self):
+        witness = nfa_subset_counterexample(nfa("(a+b)*"), nfa("(ab)*"))
+        assert witness == ("a",) or witness == ("b",)
+
+    def test_counterexample_none_when_subset(self):
+        assert nfa_subset_counterexample(nfa("ab"), nfa("(ab)*")) is None
+
+    def test_equality(self):
+        assert nfa_language_equal(nfa("a(ba)*"), nfa("(ab)*a"))
+        assert not nfa_language_equal(nfa("a*"), nfa("a^+"))
+
+
+class TestWords:
+    def test_enumerate_in_length_order(self):
+        words = list(enumerate_words(parse_regex("a*"), 3))
+        assert words == [(), ("a",), ("a", "a"), ("a", "a", "a")]
+
+    def test_enumerate_budget(self):
+        with pytest.raises(SearchBudgetExceeded):
+            list(enumerate_words(parse_regex("(a+b)*"), 10, max_words=5))
+
+    def test_shortest_word(self):
+        assert shortest_word(parse_regex("aa+b")) == ("b",)
+
+    def test_finite_detection(self):
+        assert language_is_finite(parse_regex("ab+ba"))
+        assert not language_is_finite(parse_regex("a*b"))
+        assert language_is_finite(parse_regex("ab?c?"))
+
+    def test_words_if_finite(self):
+        words = language_words_if_finite(parse_regex("a(b+c)"))
+        assert sorted(words) == [("a", "b"), ("a", "c")]
+
+    def test_words_if_finite_rejects_infinite(self):
+        with pytest.raises(ValueError):
+            language_words_if_finite(parse_regex("a*"))
+
+
+class TestParserErrors:
+    @pytest.mark.parametrize("bad", ["(ab", "a)", "*a", "<ab", "<>", "a^b"])
+    def test_syntax_errors(self, bad):
+        from repro.errors import RegexSyntaxError
+
+        with pytest.raises(RegexSyntaxError):
+            parse_regex(bad)
+
+    def test_angle_symbols(self):
+        regex = parse_regex("<I1><I2>*")
+        assert regex.alphabet() == {"I1", "I2"}

@@ -1,0 +1,153 @@
+"""Additional unit coverage: RPQ primitives, the Semantics enum, the
+errors module, and containment result objects."""
+
+import pytest
+
+from repro.containment.result import ContainmentResult, Verdict
+from repro.errors import (
+    NotSupportedError,
+    RegexSyntaxError,
+    ReproError,
+    SearchBudgetExceeded,
+)
+from repro.graphdb.graph import GraphDatabase
+from repro.regular.parser import parse_regex
+from repro.semantics.base import ALL_SEMANTICS, Semantics
+from repro.semantics.rpq import (
+    rpq_evaluate,
+    simple_cycle_nodes,
+    simple_path_pairs,
+    standard_pairs,
+)
+
+
+class TestSemanticsEnum:
+    def test_coerce_identity(self):
+        assert Semantics.coerce(Semantics.STANDARD) is Semantics.STANDARD
+
+    @pytest.mark.parametrize("alias,expected", [
+        ("st", Semantics.STANDARD),
+        ("standard", Semantics.STANDARD),
+        ("a-inj", Semantics.ATOM_INJECTIVE),
+        ("ainj", Semantics.ATOM_INJECTIVE),
+        ("atom-injective", Semantics.ATOM_INJECTIVE),
+        ("q-inj", Semantics.QUERY_INJECTIVE),
+        ("qinj", Semantics.QUERY_INJECTIVE),
+        ("query-injective", Semantics.QUERY_INJECTIVE),
+    ])
+    def test_aliases(self, alias, expected):
+        assert Semantics.coerce(alias) is expected
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            Semantics.coerce("simple-path")
+
+    def test_all_semantics_ordering(self):
+        assert ALL_SEMANTICS == (
+            Semantics.STANDARD,
+            Semantics.ATOM_INJECTIVE,
+            Semantics.QUERY_INJECTIVE,
+        )
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        assert issubclass(SearchBudgetExceeded, ReproError)
+        assert issubclass(NotSupportedError, ReproError)
+        assert issubclass(RegexSyntaxError, ReproError)
+
+    def test_budget_error_carries_budget(self):
+        error = SearchBudgetExceeded("too much", 42)
+        assert error.budget == 42
+        assert "42" in str(error)
+
+    def test_regex_error_position(self):
+        try:
+            parse_regex("a)")
+        except RegexSyntaxError as error:
+            assert error.position == 1
+            assert error.text == "a)"
+        else:
+            pytest.fail("expected RegexSyntaxError")
+
+
+class TestContainmentResult:
+    def test_conclusive_flags(self):
+        contained = ContainmentResult(Verdict.CONTAINED, Semantics.STANDARD,
+                                      "m")
+        bounded = ContainmentResult(Verdict.CONTAINED_UP_TO_BOUND,
+                                    Semantics.ATOM_INJECTIVE, "m", bound=3)
+        assert contained.conclusive and not bounded.conclusive
+        assert bool(contained) and not bool(bounded)
+
+    def test_str_includes_bound(self):
+        bounded = ContainmentResult(Verdict.CONTAINED_UP_TO_BOUND,
+                                    Semantics.ATOM_INJECTIVE, "m", bound=3)
+        assert "bound=3" in str(bounded)
+
+
+class TestRPQEdgeCases:
+    def test_empty_graph(self):
+        g = GraphDatabase()
+        assert standard_pairs(g, parse_regex("a*")) == set()
+        assert simple_path_pairs(g, parse_regex("a*")) == set()
+
+    def test_isolated_nodes_with_epsilon(self):
+        g = GraphDatabase(nodes=[1, 2])
+        pairs = standard_pairs(g, parse_regex("a*"))
+        assert pairs == {(1, 1), (2, 2)}
+
+    def test_empty_language(self):
+        from repro.regular.syntax import Empty
+
+        g = GraphDatabase(edges=[(1, "a", 2)])
+        assert standard_pairs(g, Empty()) == set()
+
+    def test_multi_label_disjunction(self):
+        g = GraphDatabase(edges=[(1, "a", 2), (1, "b", 3)])
+        pairs = standard_pairs(g, parse_regex("a+b"))
+        assert pairs == {(1, 2), (1, 3)}
+
+    def test_simple_cycle_nodes_empty_inclusion(self):
+        g = GraphDatabase(nodes=[1])
+        assert simple_cycle_nodes(g, parse_regex("a*")) == {1}
+        assert simple_cycle_nodes(g, parse_regex("a*"),
+                                  include_empty=False) == set()
+
+    def test_rpq_evaluate_semantics_names(self):
+        g = GraphDatabase(edges=[(1, "a", 2)])
+        assert rpq_evaluate(g, parse_regex("a"), "st") == {(1, 2)}
+        assert rpq_evaluate(g, parse_regex("a"), "a-inj") == {(1, 2)}
+        assert rpq_evaluate(g, parse_regex("a"), "q-inj") == {(1, 2)}
+
+    def test_parallel_edges_one_pair(self):
+        g = GraphDatabase(edges=[(1, "a", 2), (1, "b", 2)])
+        assert simple_path_pairs(g, parse_regex("a+b")) == {(1, 2)}
+
+    def test_long_cycle_wraparound_excluded(self):
+        # Walks may wrap a cycle; simple paths may not.
+        g = GraphDatabase(edges=[(i, "a", (i + 1) % 4) for i in range(4)])
+        walk_pairs = standard_pairs(g, parse_regex("aaaaa"))
+        simple = simple_path_pairs(g, parse_regex("aaaaa"))
+        assert walk_pairs and not simple
+
+
+class TestEvaluationBudgetsAndErrors:
+    def test_search_budget_propagates_from_expansions(self):
+        from repro.queries.parser import parse_query
+        from repro.semantics.expansion import expansions
+
+        q = parse_query("Q() :- x -[(a+b)*]-> y, u -[(a+b)*]-> v")
+        with pytest.raises(SearchBudgetExceeded):
+            list(expansions(q, 6, max_count=10))
+
+    def test_abstraction_budget(self):
+        from repro.containment.abstraction import contains_abstraction
+        from repro.queries.parser import parse_query
+
+        q1 = parse_query("Q() :- x -[(a+b)(a+b)(a+b)*]-> y")
+        q2 = parse_query(
+            "Q() :- x -[(ab+ba)^+]-> y, y -[(aa+bb)^+]-> z"
+        )
+        with pytest.raises(SearchBudgetExceeded):
+            contains_abstraction(q1, q2, "st", max_classes=5)

@@ -1,0 +1,90 @@
+"""Tests for the scaling harness and semantics-preservation properties of
+the containment preprocessors (Remarks C.1 / C.2)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+
+from repro.analysis.scaling import ScalingRow, run_scaling, scaling_report_text
+from repro.containment.preprocess import (
+    merge_degree_one_variables,
+    split_parallel_singletons,
+)
+from repro.semantics.evaluation import evaluate
+
+from tests.test_hierarchy import small_graphs
+
+
+class TestScalingHarness:
+    def test_runs_and_reports(self):
+        rows = run_scaling(sizes=(3,), road_lengths=(1,))
+        assert len(rows) == 6  # (1 size + 1 length) × 3 semantics
+        text = scaling_report_text(rows)
+        assert "slowdown" in text
+        assert "uniform" in text and "two-lane" in text
+
+    def test_row_rendering(self):
+        row = ScalingRow("uniform", 4, "st", 0.0123, 7)
+        assert "uniform" in str(row) and "7 answers" in str(row)
+
+
+def _chain_query():
+    """A query with a mergeable middle variable (Remark C.1 target)."""
+    from repro.queries.parser import parse_query
+
+    return parse_query("Q(x, z) :- x -[a^+]-> y, y -[b+ab]-> z")
+
+
+def _parallel_query():
+    """A query with parallel atoms sharing single letters (C.2 target)."""
+    from repro.queries.parser import parse_query
+
+    return parse_query("Q(x, y) :- x -[a+b]-> y, x -[a+c]-> y")
+
+
+class TestPreprocessSemanticsPreservation:
+    @given(small_graphs())
+    @settings(max_examples=20, deadline=None)
+    def test_c1_merge_preserves_st_and_qinj(self, graph):
+        query = _chain_query()
+        merged = merge_degree_one_variables(query)
+        assert len(merged.atoms) < len(query.atoms)
+        for semantics in ("st", "q-inj"):
+            assert evaluate(query, graph, semantics) == evaluate(
+                merged, graph, semantics
+            ), semantics
+
+    @given(small_graphs())
+    @settings(max_examples=20, deadline=None)
+    def test_c2_split_preserves_all_semantics(self, graph):
+        query = _parallel_query()
+        parts = split_parallel_singletons(query)
+        assert len(parts) > 1
+        for semantics in ("st", "q-inj", "a-inj"):
+            assert evaluate(query, graph, semantics) == evaluate(
+                list(parts), graph, semantics
+            ), semantics
+
+    def test_c1_merge_can_change_ainj(self):
+        """Documented: the C.1 merge is an st/q-inj equivalence; under
+        a-inj it is *not* sound in general (the merged atom demands one
+        simple path where the original allowed two overlapping ones) —
+        which is precisely why the abstraction decider refuses a-inj."""
+        from repro.graphdb.graph import GraphDatabase
+        from repro.queries.parser import parse_query
+
+        query = parse_query("Q(x, z) :- x -[ab]-> y, y -[ba]-> z")
+        merged = merge_degree_one_variables(query)
+        assert len(merged.atoms) == 1
+        # Cycle graph where the two halves overlap in the middle: the
+        # split version can answer while the fused abba-path cannot stay
+        # simple.
+        g = GraphDatabase()
+        g.add_path(["n0", "n1", "n2"], ["a", "b"])
+        g.add_edge("n2", "b", "n1")
+        g.add_edge("n1", "a", "n3")
+        split_answers = evaluate(query, g, "a-inj")
+        merged_answers = evaluate(merged, g, "a-inj")
+        assert ("n0", "n3") in split_answers
+        assert ("n0", "n3") not in merged_answers
