@@ -60,6 +60,7 @@ from repro.containment.preprocess import (
     split_parallel_singletons,
 )
 from repro.containment.result import ContainmentResult, Verdict
+from repro.engine.cache import compiled_nfa
 from repro.errors import SearchBudgetExceeded
 from repro.queries.crpq import union_of
 from repro.regular.nfa import NFA
@@ -174,7 +175,7 @@ def atom_classes(atom, q2, max_classes=20000):
     for candidate expansions; the BFS still explores non-accepting classes
     because they may lead to accepting ones.
     """
-    atom_nfa = NFA.from_regex(atom.language)
+    atom_nfa = compiled_nfa(atom.language)
     identity = frozenset((q, q) for q in q2.states)
     start = _Class(
         frozenset(atom_nfa.initials), identity,

@@ -15,6 +15,7 @@
 
 from __future__ import annotations
 
+from repro.engine.cache import compiled_nfa
 from repro.queries.atoms import Atom
 from repro.queries.crpq import CRPQ
 from repro.regular.syntax import Symbol, concat, union
@@ -69,7 +70,7 @@ def _merge_once(query):
 
 def _single_letters(language):
     """The set of single letters a with (a,) in the language."""
-    nfa = NFA.from_regex(language)
+    nfa = compiled_nfa(language)
     letters = set()
     for label in nfa.alphabet:
         if nfa.accepts((label,)):
@@ -112,7 +113,7 @@ def _length_at_least_two_part(language):
     from repro.regular.syntax import from_words
     from repro.regular.words import language_is_finite
 
-    nfa = NFA.from_regex(language)
+    nfa = compiled_nfa(language)
     if language_is_finite(nfa):
         words = [w for w in language_words_if_finite(nfa) if len(w) >= 2]
         if not words:
@@ -126,7 +127,7 @@ def _length_at_least_two_part(language):
     from repro.regular.syntax import concat as rconcat, star
 
     at_least_two = rconcat(sigma, rconcat(sigma, star(sigma)))
-    product = nfa.intersection(NFA.from_regex(at_least_two)).trim()
+    product = nfa.intersection(compiled_nfa(at_least_two)).trim()
     if not product.states or product.is_empty():
         return None
     return nfa_to_regex(product)

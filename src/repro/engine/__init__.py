@@ -1,0 +1,42 @@
+"""The hot-path evaluation engine.
+
+This package is a performance layer *under* the semantics modules — it
+changes how atom relations are computed, never what they contain.  The
+three pieces (see ARCHITECTURE.md for the full picture):
+
+- :mod:`repro.engine.adjacency` — a per-graph :class:`AdjacencyIndex`
+  with pre-sorted, label-partitioned out/in edge lists, so the
+  backtracking searches stop re-sorting adjacency inside their inner
+  loops;
+- :mod:`repro.engine.cache` — a structural ``Regex → NFA`` compilation
+  cache and a per-(graph, language, semantics) atom-relation cache,
+  both invalidated by the graph's mutation counter;
+- :mod:`repro.engine.product` — a single-sweep product-automaton
+  reachability replacing the per-source BFS of the classical NL
+  algorithm, plus reverse-reachability sets used to prune the
+  simple-path backtracking searches.
+
+Everything here is output-equivalent to the seed implementations; the
+differential suite (``tests/test_engine_differential.py``) pins that.
+"""
+
+from repro.engine.adjacency import AdjacencyIndex, adjacency_index
+from repro.engine.cache import (
+    atom_relation,
+    compiled_nfa,
+    coreachable_states,
+    invalidate_engine_caches,
+    reversed_nfa,
+)
+from repro.engine.product import product_reachability_pairs
+
+__all__ = [
+    "AdjacencyIndex",
+    "adjacency_index",
+    "atom_relation",
+    "compiled_nfa",
+    "coreachable_states",
+    "invalidate_engine_caches",
+    "product_reachability_pairs",
+    "reversed_nfa",
+]

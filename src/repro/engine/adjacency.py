@@ -1,0 +1,103 @@
+"""Indexed adjacency for :class:`~repro.graphdb.graph.GraphDatabase`.
+
+The backtracking searches in :mod:`repro.graphdb.paths` and
+:mod:`repro.semantics.trails` expand nodes in a deterministic order
+(sorted by ``(repr(label), repr(target))``).  The seed implementations
+re-sorted ``graph.out_edges(node)`` on *every* DFS expansion; the index
+sorts each adjacency list once per graph version and hands out the same
+tuples afterwards.
+
+The index is cached on the graph instance and keyed by the graph's
+mutation counter (``GraphDatabase.version``), so any ``add_node`` /
+``add_edge`` after the build transparently invalidates it.
+"""
+
+from __future__ import annotations
+
+
+def edge_sort_key(edge):
+    """The deterministic expansion order used by every DFS in the repo."""
+    return (repr(edge.label), repr(edge.target))
+
+
+class AdjacencyIndex:
+    """Pre-sorted, label-partitioned adjacency for one graph version.
+
+    All returned containers are tuples/dicts built once — callers must
+    treat them as immutable (they are shared across every consumer of
+    the same graph version).
+    """
+
+    __slots__ = (
+        "version",
+        "nodes_sorted",
+        "node_bit",
+        "_out_sorted",
+        "_in_sorted",
+        "_out_by_label",
+        "_in_by_label",
+    )
+
+    _EMPTY = ()
+
+    def __init__(self, graph):
+        self.version = graph.version
+        self.nodes_sorted = tuple(sorted(graph.nodes, key=repr))
+        self.node_bit = {node: index for index, node in enumerate(self.nodes_sorted)}
+        out_sorted = {}
+        in_sorted = {}
+        out_by_label = {}
+        in_by_label = {}
+        for node in self.nodes_sorted:
+            out_edges = tuple(sorted(graph.out_edges(node), key=edge_sort_key))
+            if out_edges:
+                out_sorted[node] = out_edges
+                partition = {}
+                for edge in out_edges:
+                    partition.setdefault(edge.label, []).append(edge.target)
+                out_by_label[node] = {
+                    label: tuple(targets) for label, targets in partition.items()
+                }
+            in_edges = tuple(sorted(graph.in_edges(node), key=edge_sort_key))
+            if in_edges:
+                in_sorted[node] = in_edges
+                partition = {}
+                for edge in in_edges:
+                    partition.setdefault(edge.label, []).append(edge.source)
+                in_by_label[node] = {
+                    label: tuple(sources) for label, sources in partition.items()
+                }
+        self._out_sorted = out_sorted
+        self._in_sorted = in_sorted
+        self._out_by_label = out_by_label
+        self._in_by_label = in_by_label
+
+    def out_sorted(self, node):
+        """Edges leaving ``node``, sorted by :func:`edge_sort_key`."""
+        return self._out_sorted.get(node, self._EMPTY)
+
+    def in_sorted(self, node):
+        """Edges entering ``node``, sorted by :func:`edge_sort_key`."""
+        return self._in_sorted.get(node, self._EMPTY)
+
+    def out_targets(self, node):
+        """``{label: (targets...)}`` partition of the out-edges of ``node``."""
+        return self._out_by_label.get(node)
+
+    def in_sources(self, node):
+        """``{label: (sources...)}`` partition of the in-edges of ``node``."""
+        return self._in_by_label.get(node)
+
+
+def adjacency_index(graph):
+    """Return the (possibly cached) :class:`AdjacencyIndex` for ``graph``.
+
+    Rebuilt lazily whenever the graph's mutation counter has moved since
+    the last build.
+    """
+    cached = getattr(graph, "_engine_adjacency", None)
+    if cached is not None and cached.version == graph.version:
+        return cached
+    index = AdjacencyIndex(graph)
+    graph._engine_adjacency = index
+    return index

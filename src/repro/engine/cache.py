@@ -1,0 +1,189 @@
+"""Compilation and relation caches for the evaluation engine.
+
+Three cache families live here:
+
+- **NFA compilation cache** — ``Regex → NFA`` memoization, keyed
+  *structurally* (regex AST nodes are frozen dataclasses, so equal
+  regexes share one compiled automaton).  The seed recompiled every
+  atom language on every ``evaluate`` / ``_qinj_solutions`` /
+  ``simple_path_pairs`` call.
+- **Atom-relation cache** — per-(graph, language, semantics-kind)
+  memoization of the pair relations (`standard_pairs`,
+  `simple_path_pairs`, `simple_cycle_nodes`) that the evaluators and
+  the containment preprocessor re-derive.
+- **Co-reachability cache** — per-(graph, NFA, target) sets of product
+  states ``(node, state)`` from which an accepting configuration
+  ``(target, final)`` is reachable; used by the simple-path searches to
+  prune dead branches before backtracking into them.
+
+Graph-scoped caches are stored on the graph instance and keyed by its
+mutation counter (``GraphDatabase.version``): any ``add_node`` /
+``add_edge`` bumps the counter and the next lookup rebuilds.
+:func:`invalidate_engine_caches` drops them eagerly.
+
+NFA keys use *object identity* (NFAs compare by identity); regex keys
+use structural equality.  Because compiled NFAs are interned by the
+compilation cache, repeated compilations of the same regex hit the same
+identity, which is what makes the graph-scoped caches effective.
+"""
+
+from __future__ import annotations
+
+from repro.engine.adjacency import adjacency_index
+from repro.regular.nfa import NFA
+from repro.regular.syntax import Regex
+
+# Caps keep long-running processes bounded; when exceeded the cache is
+# simply dropped (correctness never depends on a hit).
+_NFA_CACHE_CAP = 4096
+_GRAPH_CACHE_CAP = 4096
+
+_nfa_cache = {}
+_reverse_cache = {}
+
+
+def compiled_nfa(language, state_prefix=""):
+    """Return an ε-free NFA for ``language``, memoized structurally.
+
+    ``language`` may already be an NFA (returned unchanged) or a Regex.
+    Equal regexes (same AST) with the same ``state_prefix`` share one
+    compiled automaton — safe because :class:`NFA` is immutable.
+    """
+    if isinstance(language, NFA):
+        return language
+    if not isinstance(language, Regex):
+        raise TypeError(f"expected Regex or NFA, got {language!r}")
+    key = (language, state_prefix)
+    nfa = _nfa_cache.get(key)
+    if nfa is None:
+        nfa = NFA.from_regex(language, state_prefix=state_prefix)
+        if len(_nfa_cache) >= _NFA_CACHE_CAP:
+            _nfa_cache.clear()
+        _nfa_cache[key] = nfa
+    return nfa
+
+
+def reversed_nfa(nfa):
+    """Return ``nfa.reverse()``, memoized by automaton identity."""
+    rev = _reverse_cache.get(nfa)
+    if rev is None:
+        rev = nfa.reverse()
+        if len(_reverse_cache) >= _NFA_CACHE_CAP:
+            _reverse_cache.clear()
+        _reverse_cache[nfa] = rev
+    return rev
+
+
+def clear_compilation_caches():
+    """Drop the process-wide NFA caches (mainly for tests)."""
+    _nfa_cache.clear()
+    _reverse_cache.clear()
+
+
+# ----------------------------------------------------------------------
+# Graph-scoped caches
+# ----------------------------------------------------------------------
+
+
+def _graph_cache(graph):
+    """The mutable cache dict for the graph's *current* version."""
+    cached = getattr(graph, "_engine_cache", None)
+    if cached is not None and cached[0] == graph.version:
+        return cached[1]
+    store = {}
+    graph._engine_cache = (graph.version, store)
+    return store
+
+
+def invalidate_engine_caches(graph):
+    """Eagerly drop every engine cache attached to ``graph``.
+
+    Mutation already invalidates lazily via the version counter; this
+    exists for callers that want the memory back immediately.
+    """
+    for attribute in ("_engine_cache", "_engine_adjacency"):
+        try:
+            delattr(graph, attribute)
+        except AttributeError:
+            pass
+
+
+def _language_key(language):
+    # Regexes key structurally; NFAs by identity (they hash by id, and
+    # the cache entry keeps the automaton alive, so ids cannot be
+    # recycled while cached).
+    return language
+
+
+def _get_or_compute(graph, key, compute):
+    cache = _graph_cache(graph)
+    value = cache.get(key)
+    if value is None:
+        value = frozenset(compute())
+        if len(cache) >= _GRAPH_CACHE_CAP:
+            cache.clear()
+        cache[key] = value
+    return value
+
+
+def atom_relation(graph, language, kind, compute):
+    """Get-or-compute the atom relation of ``kind`` for ``language``.
+
+    ``kind`` names the semantics-level relation ("standard",
+    "simple-path", ...); ``compute`` is a thunk producing the relation
+    when the cache misses.  The cached value is frozen so a shared
+    result can never be corrupted by one caller.
+    """
+    return _get_or_compute(graph, (kind, _language_key(language)), compute)
+
+
+def query_result(graph, semantics, query, compute):
+    """Get-or-compute a full per-disjunct evaluation result.
+
+    Keyed by (semantics, query) on top of the graph version — CRPQs hash
+    structurally (head, atom set, variables), so re-evaluating the same
+    query against an unchanged graph is a dictionary lookup.  This is
+    the layer that makes repeated query serving cheap; the atom-relation
+    cache below it makes *distinct* queries sharing atom languages cheap.
+    """
+    return _get_or_compute(graph, ("query", semantics, query), compute)
+
+
+def coreachable_states(graph, nfa, target):
+    """Product states ``(node, state)`` that can reach ``(target, f)``
+    for some final state f — computed by one backward sweep over the
+    product graph (graph in-edges × :func:`reversed_nfa` transitions)
+    and cached per (graph version, automaton, target).
+
+    This is an over-approximation of usefulness for any constrained
+    search (``forbidden`` sets only remove paths), so filtering DFS
+    frontiers through it is sound and changes no output.
+    """
+    cache = _graph_cache(graph)
+    key = ("coreach", nfa, target)
+    value = cache.get(key)
+    if value is None:
+        index = adjacency_index(graph)
+        reverse_transitions = reversed_nfa(nfa).transitions
+        seen = {(target, final) for final in nfa.finals}
+        stack = list(seen)
+        while stack:
+            node, state = stack.pop()
+            sources_by_label = index.in_sources(node)
+            if not sources_by_label:
+                continue
+            for label, sources in sources_by_label.items():
+                predecessors = reverse_transitions.get((state, label))
+                if not predecessors:
+                    continue
+                for pred_state in predecessors:
+                    for source in sources:
+                        item = (source, pred_state)
+                        if item not in seen:
+                            seen.add(item)
+                            stack.append(item)
+        value = frozenset(seen)
+        if len(cache) >= _GRAPH_CACHE_CAP:
+            cache.clear()
+        cache[key] = value
+    return value

@@ -1,0 +1,183 @@
+"""Single-sweep product-automaton reachability.
+
+The classical NL algorithm for ``standard_pairs`` runs one BFS over the
+``(node, state)`` product graph *per source node* — |V| sweeps, each
+touching up to |V|·|Q| product states.  This module computes the same
+relation with a single pass:
+
+1. one forward exploration from every seed ``(u, q0)`` materializes the
+   reachable product subgraph;
+2. an iterative Tarjan pass condenses it into strongly connected
+   components (emitted sinks-first, so the reversed emission order is a
+   topological order);
+3. source sets are propagated through the condensation as integer
+   bitmasks (node *u* contributes bit *u* at every seed ``(u, q0)``) —
+   one big-int OR per condensation edge instead of a fresh BFS per
+   source;
+4. every product state ``(v, f)`` with *f* final contributes the pairs
+   ``{(u, v) : bit u set on its component}``.
+
+Output-equivalent to the per-source BFS (pinned by the differential
+suite); asymptotically one product traversal plus output size.
+"""
+
+from __future__ import annotations
+
+from repro.engine.adjacency import adjacency_index
+
+
+def product_reachability_pairs(graph, nfa):
+    """Return ``{(u, v) : some walk u ⇝ v has label in L(nfa)}`` with the
+    empty walk allowed only when u = v and ε ∈ L."""
+    index = adjacency_index(graph)
+    nodes = index.nodes_sorted
+    pairs = set()
+    if nfa.accepts(()):
+        pairs.update((node, node) for node in nodes)
+    if not nodes or not nfa.initials:
+        return pairs
+
+    adjacency, seeds = _reachable_product(index, nfa)
+    components, component_of = _tarjan_sccs(adjacency)
+    masks = _propagate_source_masks(
+        index, components, component_of, adjacency, seeds
+    )
+
+    finals = nfa.finals
+    final_targets = {}
+    for product_node in adjacency:
+        if product_node[1] in finals:
+            component = component_of[product_node]
+            final_targets.setdefault(component, set()).add(product_node[0])
+    for component, targets in final_targets.items():
+        mask = masks[component]
+        if not mask:
+            continue
+        for source in _decode_mask(mask, nodes):
+            for target in targets:
+                pairs.add((source, target))
+    return pairs
+
+
+def _reachable_product(index, nfa):
+    """Forward-explore the product graph from every ``(u, q0)`` seed.
+
+    Returns ``(adjacency, seeds)`` where ``adjacency`` maps each
+    reachable product state to a deduplicated successor list.
+    """
+    transitions = nfa.transitions
+    seeds = [
+        (node, initial) for node in index.nodes_sorted for initial in nfa.initials
+    ]
+    adjacency = {}
+    stack = list(seeds)
+    for seed in seeds:
+        adjacency[seed] = None
+    while stack:
+        product_node = stack.pop()
+        if adjacency.get(product_node) is not None:
+            continue
+        node, state = product_node
+        successors = set()
+        targets_by_label = index.out_targets(node)
+        if targets_by_label:
+            for label, targets in targets_by_label.items():
+                next_states = transitions.get((state, label))
+                if not next_states:
+                    continue
+                for next_state in next_states:
+                    for target in targets:
+                        successors.add((target, next_state))
+        successor_list = list(successors)
+        adjacency[product_node] = successor_list
+        for successor in successor_list:
+            if successor not in adjacency:
+                adjacency[successor] = None
+                stack.append(successor)
+    return adjacency, seeds
+
+
+def _tarjan_sccs(adjacency):
+    """Iterative Tarjan over ``adjacency``; components emitted sinks-first."""
+    order = {}
+    low = {}
+    on_stack = set()
+    scc_stack = []
+    components = []
+    component_of = {}
+    counter = 0
+    for root in adjacency:
+        if root in order:
+            continue
+        work = [(root, 0)]
+        while work:
+            vertex, next_edge = work[-1]
+            if next_edge == 0:
+                order[vertex] = low[vertex] = counter
+                counter += 1
+                scc_stack.append(vertex)
+                on_stack.add(vertex)
+            descended = False
+            successors = adjacency[vertex]
+            for position in range(next_edge, len(successors)):
+                successor = successors[position]
+                if successor not in order:
+                    work[-1] = (vertex, position + 1)
+                    work.append((successor, 0))
+                    descended = True
+                    break
+                if successor in on_stack and order[successor] < low[vertex]:
+                    low[vertex] = order[successor]
+            if descended:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                if low[vertex] < low[parent]:
+                    low[parent] = low[vertex]
+            if low[vertex] == order[vertex]:
+                identifier = len(components)
+                members = []
+                while True:
+                    member = scc_stack.pop()
+                    on_stack.discard(member)
+                    component_of[member] = identifier
+                    members.append(member)
+                    if member == vertex:
+                        break
+                components.append(members)
+    return components, component_of
+
+
+def _propagate_source_masks(index, components, component_of, adjacency, seeds):
+    """Flow per-component source bitmasks forward through the condensation.
+
+    Tarjan emits components sinks-first, so iterating them in reverse
+    visits predecessors before successors; each component pushes its
+    accumulated mask across its outgoing condensation edges once.
+    """
+    node_bit = index.node_bit
+    masks = [0] * len(components)
+    for node, initial in seeds:
+        masks[component_of[(node, initial)]] |= 1 << node_bit[node]
+    for identifier in range(len(components) - 1, -1, -1):
+        mask = masks[identifier]
+        if not mask:
+            continue
+        successor_components = set()
+        for member in components[identifier]:
+            for successor in adjacency[member]:
+                successor_component = component_of[successor]
+                if successor_component != identifier:
+                    successor_components.add(successor_component)
+        for successor_component in successor_components:
+            masks[successor_component] |= mask
+    return masks
+
+
+def _decode_mask(mask, nodes):
+    """Yield the nodes whose bits are set in ``mask``."""
+    while mask:
+        low_bit = mask & -mask
+        yield nodes[low_bit.bit_length() - 1]
+        mask ^= low_bit

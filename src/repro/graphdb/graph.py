@@ -32,6 +32,7 @@ class GraphDatabase:
         self._out = defaultdict(set)   # node -> set of Edge
         self._in = defaultdict(set)    # node -> set of Edge
         self._by_label = defaultdict(set)
+        self._version = 0
         for node in nodes:
             self.add_node(node)
         for edge in edges:
@@ -47,7 +48,9 @@ class GraphDatabase:
 
     def add_node(self, node):
         """Add an isolated node (no-op if present)."""
-        self._nodes.add(node)
+        if node not in self._nodes:
+            self._nodes.add(node)
+            self._version += 1
         return node
 
     def add_edge(self, source, label, target):
@@ -61,6 +64,7 @@ class GraphDatabase:
         self._out[source].add(edge)
         self._in[target].add(edge)
         self._by_label[label].add(edge)
+        self._version += 1
         return edge
 
     def add_path(self, nodes, labels):
@@ -91,23 +95,53 @@ class GraphDatabase:
         """The set of labels appearing on edges."""
         return frozenset(self._by_label)
 
+    @property
+    def version(self):
+        """A counter bumped by every effective mutation.
+
+        The engine layer (:mod:`repro.engine`) keys its adjacency index
+        and relation caches on this value, so stale caches are detected
+        without the graph having to know about them.
+        """
+        return self._version
+
     def node_count(self):
         return len(self._nodes)
 
     def edge_count(self):
         return len(self._edges)
 
+    def _snapshot(self, family, mapping, key):
+        """A frozen copy of ``mapping[key]``, memoized per graph version
+        so repeated accessor calls don't re-copy unchanged sets."""
+        cache = self.__dict__.get("_snapshot_cache")
+        if cache is None or cache[0] != self._version:
+            cache = (self._version, {})
+            self._snapshot_cache = cache
+        snapshots = cache[1]
+        cache_key = (family, key)
+        value = snapshots.get(cache_key)
+        if value is None:
+            members = mapping.get(key)
+            value = frozenset(members) if members else frozenset()
+            snapshots[cache_key] = value
+        return value
+
     def out_edges(self, node):
-        """Edges leaving ``node``."""
-        return self._out.get(node, frozenset())
+        """Edges leaving ``node`` (an immutable snapshot).
+
+        Always a :class:`frozenset`, never the live internal set —
+        mutating the return value must not corrupt the graph.
+        """
+        return self._snapshot("out", self._out, node)
 
     def in_edges(self, node):
-        """Edges entering ``node``."""
-        return self._in.get(node, frozenset())
+        """Edges entering ``node`` (an immutable snapshot)."""
+        return self._snapshot("in", self._in, node)
 
     def edges_with_label(self, label):
-        """Edges carrying ``label``."""
-        return self._by_label.get(label, frozenset())
+        """Edges carrying ``label`` (an immutable snapshot)."""
+        return self._snapshot("label", self._by_label, label)
 
     def has_edge(self, source, label, target):
         return Edge(source, label, target) in self._edges

@@ -17,8 +17,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.regular.nfa import NFA
-from repro.regular.syntax import Regex
+from repro.engine.adjacency import adjacency_index, edge_sort_key
+from repro.engine.cache import compiled_nfa, coreachable_states
 
 
 @dataclass(frozen=True)
@@ -75,11 +75,32 @@ class Path:
 def _as_nfa(language):
     if language is None:
         return None
-    if isinstance(language, NFA):
-        return language
-    if isinstance(language, Regex):
-        return NFA.from_regex(language)
-    raise TypeError(f"expected Regex or NFA, got {language!r}")
+    return compiled_nfa(language)
+
+
+def _prepare_pruned_search(graph, nfa, source, target):
+    """Shared setup for the pruned backtracking searches: the adjacency
+    index, the co-reachability set for ``target``, and the initial NFA
+    states filtered to those alive at ``source``."""
+    index = adjacency_index(graph)
+    if nfa is None:
+        return index, None, None
+    useful = coreachable_states(graph, nfa, target)
+    initial_states = frozenset(
+        state for state in nfa.initials if (source, state) in useful
+    )
+    return index, useful, initial_states
+
+
+def _filtered_step(nfa, states, label, node, useful):
+    """One NFA step with dead states (not co-reachable at ``node``)
+    dropped; empty result means the branch can never accept."""
+    nxt_states = nfa.step(states, label)
+    if nxt_states:
+        nxt_states = frozenset(
+            state for state in nxt_states if (node, state) in useful
+        )
+    return nxt_states
 
 
 def simple_paths(graph, source, target, language=None, forbidden=frozenset(),
@@ -90,11 +111,17 @@ def simple_paths(graph, source, target, language=None, forbidden=frozenset(),
     a set of nodes that the path must avoid *entirely* (used by the q-inj
     evaluator to keep atom paths node-disjoint).  If ``source == target``
     the only simple path is the empty one (yielded when ε is accepted and
-    ``require_nonempty`` is false).
+    ``require_nonempty`` is false).  ``require_nonempty`` has no effect
+    when ``source != target`` — a simple path between distinct endpoints
+    is nonempty by construction.
 
     Backtracking DFS over (node, NFA state set); the visited-node set makes
     memoization unsound, which is exactly the source of NP-hardness
-    (Prop 3.2) — this is intentional, faithful behavior.
+    (Prop 3.2) — this is intentional, faithful behavior.  The frontier is
+    filtered through the product co-reachability set (states that can
+    still reach an accepting configuration at ``target`` in the full
+    graph), which prunes dead branches without changing the yielded
+    paths or their order.
     """
     nfa = _as_nfa(language)
     if source in forbidden or target in forbidden:
@@ -105,16 +132,20 @@ def simple_paths(graph, source, target, language=None, forbidden=frozenset(),
             yield empty
         return
 
-    initial_states = frozenset(nfa.initials) if nfa is not None else None
+    index, useful, initial_states = _prepare_pruned_search(
+        graph, nfa, source, target
+    )
+    if nfa is not None and not initial_states:
+        return
 
     def extend(node, states, nodes, labels):
-        for edge in sorted(graph.out_edges(node), key=_edge_key):
+        for edge in index.out_sorted(node):
+            nxt = edge.target
             nxt_states = None
             if nfa is not None:
-                nxt_states = nfa.step(states, edge.label)
+                nxt_states = _filtered_step(nfa, states, edge.label, nxt, useful)
                 if not nxt_states:
                     continue
-            nxt = edge.target
             if nxt in forbidden:
                 continue
             if nxt == target:
@@ -146,16 +177,18 @@ def simple_cycles_through(graph, node, language=None, forbidden=frozenset(),
     if include_empty and (nfa is None or nfa.accepts(())):
         yield Path((node,), ())
 
-    initial_states = frozenset(nfa.initials) if nfa is not None else None
+    index, useful, initial_states = _prepare_pruned_search(graph, nfa, node, node)
+    if nfa is not None and not initial_states:
+        return
 
     def extend(current, states, nodes, labels):
-        for edge in sorted(graph.out_edges(current), key=_edge_key):
+        for edge in index.out_sorted(current):
+            nxt = edge.target
             nxt_states = None
             if nfa is not None:
-                nxt_states = nfa.step(states, edge.label)
+                nxt_states = _filtered_step(nfa, states, edge.label, nxt, useful)
                 if not nxt_states:
                     continue
-            nxt = edge.target
             if nxt == node:
                 if nfa is None or (nxt_states & nfa.finals):
                     yield Path(tuple(nodes) + (nxt,), tuple(labels) + (edge.label,))
@@ -177,11 +210,13 @@ def all_paths_up_to(graph, source, max_length):
     Used by brute-force standard-semantics reference implementations in the
     test suite.
     """
+    index = adjacency_index(graph)
+
     def extend(path):
         yield path
         if len(path) >= max_length:
             return
-        for edge in sorted(graph.out_edges(path.target), key=_edge_key):
+        for edge in index.out_sorted(path.target):
             yield from extend(
                 Path(path.nodes + (edge.target,), path.labels + (edge.label,))
             )
@@ -189,5 +224,6 @@ def all_paths_up_to(graph, source, max_length):
     yield from extend(Path((source,), ()))
 
 
-def _edge_key(edge):
-    return (repr(edge.label), repr(edge.target))
+# Kept as the canonical expansion-order key (re-exported for callers
+# that sort ad-hoc edge collections).
+_edge_key = edge_sort_key

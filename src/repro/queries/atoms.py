@@ -9,7 +9,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.regular.nfa import NFA
 from repro.regular.syntax import Regex, Symbol
 
 
@@ -60,13 +59,15 @@ class Atom:
         )
 
     def nfa(self, state_prefix=None):
-        """Compile the language to an ε-free NFA.
+        """Compile the language to an ε-free NFA (memoized structurally).
 
         ``state_prefix`` namespaces states (per-atom disjointness, as in the
         paper's combined automaton A_Q2).
         """
+        from repro.engine.cache import compiled_nfa
+
         prefix = state_prefix if state_prefix is not None else ""
-        return NFA.from_regex(self.language, state_prefix=prefix)
+        return compiled_nfa(self.language, state_prefix=prefix)
 
     def is_loop(self):
         """True iff source and target are the same variable (x -L-> x)."""

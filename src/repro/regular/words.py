@@ -10,16 +10,12 @@ from __future__ import annotations
 from collections import deque
 
 from repro.errors import SearchBudgetExceeded
-from repro.regular.nfa import NFA
-from repro.regular.syntax import Regex
 
 
 def _as_nfa(language):
-    if isinstance(language, NFA):
-        return language
-    if isinstance(language, Regex):
-        return NFA.from_regex(language)
-    raise TypeError(f"expected Regex or NFA, got {language!r}")
+    from repro.engine.cache import compiled_nfa
+
+    return compiled_nfa(language)
 
 
 def enumerate_words(language, max_length, max_words=None):

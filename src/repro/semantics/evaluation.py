@@ -20,13 +20,14 @@ from __future__ import annotations
 
 import itertools
 
+from repro.engine.adjacency import adjacency_index
+from repro.engine.cache import compiled_nfa, query_result
 from repro.graphdb.graph import GraphDatabase
 from repro.graphdb.paths import simple_cycles_through, simple_paths
 from repro.homomorphism.matcher import homomorphisms
 from repro.queries.atoms import CQAtom
 from repro.queries.cq import CQ
 from repro.queries.crpq import union_of
-from repro.regular.nfa import NFA
 from repro.semantics.base import Semantics
 from repro.semantics.rpq import simple_cycle_nodes, simple_path_pairs, standard_pairs
 
@@ -52,10 +53,18 @@ def in_evaluation(query, graph, target_tuple, semantics):
     """
     semantics = Semantics.coerce(semantics)
     target_tuple = tuple(target_tuple)
-    for disjunct in union_of(query):
+    # Validate arity against *every* disjunct head before evaluating any
+    # of them: an ill-typed target tuple must raise, not return True from
+    # an earlier disjunct (regression: the check used to sit inside the
+    # evaluation loop below).  ε-elimination preserves head length, so
+    # checking the top-level heads covers every ε-free disjunct without
+    # materializing the (worst-case exponential) unions up front.
+    disjuncts = union_of(query)
+    for disjunct in disjuncts:
+        if len(target_tuple) != len(disjunct.head):
+            raise ValueError("target tuple arity mismatch")
+    for disjunct in disjuncts:
         for eps_free in disjunct.epsilon_free_union():
-            if len(target_tuple) != len(eps_free.head):
-                raise ValueError("target tuple arity mismatch")
             if _check_eps_free(eps_free, graph, target_tuple, semantics):
                 return True
     return False
@@ -67,6 +76,18 @@ def in_evaluation(query, graph, target_tuple, semantics):
 
 
 def _evaluate_eps_free(query, graph, semantics):
+    # Full per-disjunct results are memoized per graph version: repeated
+    # evaluation of an unchanged (query, graph, semantics) triple — the
+    # query-serving hot path — reduces to a dictionary lookup.
+    return query_result(
+        graph,
+        semantics,
+        query,
+        lambda: _evaluate_eps_free_uncached(query, graph, semantics),
+    )
+
+
+def _evaluate_eps_free_uncached(query, graph, semantics):
     if semantics is Semantics.QUERY_INJECTIVE:
         return {
             tuple(mu[v] for v in query.head)
@@ -145,7 +166,12 @@ def _qinj_solutions(query, graph, initial_mu=None):
     if any(node not in graph.nodes for node in values):
         return
     atoms = list(query.atoms)
-    nfas = [NFA.from_regex(atom.language) for atom in atoms]
+    nfas = [compiled_nfa(atom.language) for atom in atoms]
+    # One sorted pass over the nodes for the whole search (the seed
+    # re-sorted graph.nodes by repr on every _candidates call deep in
+    # the backtracking loop); this also pins a deterministic
+    # enumeration order across calls.
+    ordered_nodes = adjacency_index(graph).nodes_sorted
     used_values = set(values)
     internal_used = set()
 
@@ -192,7 +218,7 @@ def _qinj_solutions(query, graph, initial_mu=None):
             return (mu[variable],)
         return tuple(
             node
-            for node in sorted(graph.nodes, key=repr)
+            for node in ordered_nodes
             if node not in used_values and node not in internal_used
         )
 
@@ -218,7 +244,7 @@ def _qinj_solutions(query, graph, initial_mu=None):
             return
         available = [
             node
-            for node in sorted(graph.nodes, key=repr)
+            for node in ordered_nodes
             if node not in used_values and node not in internal_used
         ]
         for combo in itertools.permutations(available, len(free)):

@@ -1,58 +1,39 @@
 """RPQ-level evaluation primitives.
 
 - :func:`standard_pairs` — all pairs connected by a walk whose label is in
-  L (product-automaton BFS; the classical NL algorithm).
+  L (single-sweep product reachability; the classical NL algorithm of
+  Mendelzon & Wood ran one BFS per source — see
+  :mod:`repro.engine.product` for the replacement).
 - :func:`simple_path_pairs` — pairs connected by a *simple path* with label
   in L (NP-hard in general, Mendelzon & Wood [26]; backtracking search).
 - :func:`simple_cycle_nodes` — nodes on a simple cycle with label in L.
 
 These are the atom-level building blocks of the three CRPQ semantics.
+Results are memoized per (graph version, language) through
+:func:`repro.engine.cache.atom_relation`, so evaluating several queries
+(or the same query repeatedly) against one graph pays for each distinct
+atom language once.
 """
 
 from __future__ import annotations
 
-from collections import deque
-
+from repro.engine.cache import atom_relation, compiled_nfa
+from repro.engine.product import product_reachability_pairs
 from repro.graphdb.paths import simple_cycles_through, simple_paths
-from repro.regular.nfa import NFA
-from repro.regular.syntax import Regex
-
-
-def _as_nfa(language):
-    if isinstance(language, NFA):
-        return language
-    if isinstance(language, Regex):
-        return NFA.from_regex(language)
-    raise TypeError(f"expected Regex or NFA, got {language!r}")
 
 
 def standard_pairs(graph, language):
     """Return {(u, v) : some walk u ⇝ v has label in L, with the empty walk
     allowed only when u = v and ε ∈ L}.
 
-    BFS over the product graph (node, NFA state), one sweep per source node.
+    One sweep of the (node, NFA state) product graph: SCC condensation
+    plus bitmask source propagation (:mod:`repro.engine.product`),
+    cached per graph version and language.
     """
-    nfa = _as_nfa(language)
-    accepts_epsilon = nfa.accepts(())
-    pairs = set()
-    for source in graph.nodes:
-        if accepts_epsilon:
-            pairs.add((source, source))
-        start = {(source, state) for state in nfa.initials}
-        seen = set(start)
-        queue = deque(start)
-        while queue:
-            node, state = queue.popleft()
-            for edge in graph.out_edges(node):
-                for nxt_state in nfa.transitions.get((state, edge.label), ()):
-                    item = (edge.target, nxt_state)
-                    if item in seen:
-                        continue
-                    seen.add(item)
-                    queue.append(item)
-                    if nxt_state in nfa.finals:
-                        pairs.add((source, edge.target))
-    return pairs
+    nfa = compiled_nfa(language)
+    return atom_relation(
+        graph, nfa, "standard", lambda: product_reachability_pairs(graph, nfa)
+    )
 
 
 def simple_path_pairs(graph, language, prune_with_standard=True):
@@ -60,9 +41,24 @@ def simple_path_pairs(graph, language, prune_with_standard=True):
 
     For u = v only the empty path is simple, so (u, u) appears iff ε ∈ L.
     ``prune_with_standard`` first filters candidate pairs with the
-    (polynomial) walk relation — a simple path is a walk.
+    (polynomial) walk relation — a simple path is a walk.  Only the
+    pruned (default) strategy is cached; the unpruned variant always
+    recomputes (note it still uses the engine's pruned path search —
+    the genuinely engine-independent references live in
+    ``tests/test_engine_differential.py``).
     """
-    nfa = _as_nfa(language)
+    nfa = compiled_nfa(language)
+    if prune_with_standard:
+        return atom_relation(
+            graph,
+            nfa,
+            "simple-path",
+            lambda: _simple_path_pairs_uncached(graph, nfa, True),
+        )
+    return _simple_path_pairs_uncached(graph, nfa, False)
+
+
+def _simple_path_pairs_uncached(graph, nfa, prune_with_standard):
     candidates = standard_pairs(graph, nfa) if prune_with_standard else {
         (u, v) for u in graph.nodes for v in graph.nodes
     }
@@ -84,7 +80,17 @@ def simple_cycle_nodes(graph, language, include_empty=True):
     The empty cycle (label ε) counts when ``include_empty`` and ε ∈ L —
     this is how a loop atom x -[L]-> x with ε ∈ L is satisfied trivially.
     """
-    nfa = _as_nfa(language)
+    nfa = compiled_nfa(language)
+    kind = "simple-cycle" if include_empty else "simple-cycle-nonempty"
+    return atom_relation(
+        graph,
+        nfa,
+        kind,
+        lambda: _simple_cycle_nodes_uncached(graph, nfa, include_empty),
+    )
+
+
+def _simple_cycle_nodes_uncached(graph, nfa, include_empty):
     nodes = set()
     for node in graph.nodes:
         for _cycle in simple_cycles_through(

@@ -31,13 +31,14 @@ from __future__ import annotations
 
 import enum
 
+from repro.engine.adjacency import adjacency_index, edge_sort_key
+from repro.engine.cache import compiled_nfa
 from repro.graphdb.graph import GraphDatabase
 from repro.graphdb.paths import Path
 from repro.homomorphism.matcher import homomorphisms
 from repro.queries.atoms import CQAtom
 from repro.queries.cq import CQ
 from repro.queries.crpq import union_of
-from repro.regular.nfa import NFA
 
 
 class TrailSemantics(enum.Enum):
@@ -77,9 +78,10 @@ def trails(graph, source, target, language=None, forbidden_edges=frozenset(),
 
     initial_states = frozenset(nfa.initials) if nfa is not None else None
     used = set(forbidden_edges)
+    index = adjacency_index(graph)
 
     def extend(node, states, nodes, labels):
-        for edge in sorted(graph.out_edges(node), key=_edge_key):
+        for edge in index.out_sorted(node):
             if edge in used:
                 continue
             nxt_states = None
@@ -103,13 +105,12 @@ def trails(graph, source, target, language=None, forbidden_edges=frozenset(),
 
 
 def _as_nfa(language):
-    if language is None or isinstance(language, NFA):
-        return language
-    return NFA.from_regex(language)
+    if language is None:
+        return None
+    return compiled_nfa(language)
 
 
-def _edge_key(edge):
-    return (repr(edge.label), repr(edge.target))
+_edge_key = edge_sort_key
 
 
 def trail_pairs(graph, language):
@@ -133,9 +134,10 @@ def _reachable_trail_targets(graph, source, language):
     if nfa.accepts(()):
         found.add(source)
     used = set()
+    index = adjacency_index(graph)
 
     def extend(node, states):
-        for edge in sorted(graph.out_edges(node), key=_edge_key):
+        for edge in index.out_sorted(node):
             if edge in used:
                 continue
             nxt_states = nfa.step(states, edge.label)

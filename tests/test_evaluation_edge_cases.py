@@ -113,6 +113,27 @@ class TestDegenerateQueries:
         assert evaluate(q, g, "q-inj") == {("u", "v", "w")}
 
 
+class TestArityValidation:
+    def test_arity_mismatch_raises_even_when_earlier_disjunct_matches(self):
+        # Regression: the arity check used to run lazily inside the
+        # disjunct loop, so a matching first disjunct returned True
+        # before the ill-typed second disjunct could raise.
+        g = GraphDatabase(edges=[("u", "a", "v")])
+        matching = parse_query("Q(x, y) :- x -[a]-> y")
+        ill_typed = parse_query("Q(x) :- x -[a]-> y")
+        assert in_evaluation(matching, g, ("u", "v"), "st")
+        for semantics in ("st", "a-inj", "q-inj"):
+            with pytest.raises(ValueError):
+                in_evaluation((matching, ill_typed), g, ("u", "v"), semantics)
+
+    def test_well_typed_unions_still_short_circuit(self):
+        g = GraphDatabase(edges=[("u", "a", "v")])
+        first = parse_query("Q(x, y) :- x -[a]-> y")
+        second = parse_query("Q(x, y) :- x -[b]-> y")
+        assert in_evaluation((first, second), g, ("u", "v"), "st")
+        assert not in_evaluation((second,), g, ("u", "v"), "st")
+
+
 class TestEpsilonInteractions:
     def test_two_epsilon_atoms_chain_collapse(self):
         q = parse_query("Q(x, z) :- x -[a*]-> y, y -[b*]-> z")

@@ -80,6 +80,35 @@ class TestGraphDatabase:
         c.add_edge(2, "a", 3)
         assert g.edge_count() == 1
 
+    def test_accessors_return_immutable_snapshots(self):
+        # Regression: out_edges/in_edges/edges_with_label used to hand out
+        # the live internal set for existing keys, so callers could
+        # silently corrupt the graph by mutating the return value.
+        g = GraphDatabase(edges=[(1, "a", 2)])
+        for view in (g.out_edges(1), g.in_edges(2), g.edges_with_label("a"),
+                     g.out_edges(99), g.in_edges(99), g.edges_with_label("z")):
+            assert isinstance(view, frozenset)
+        snapshot = g.out_edges(1)
+        with pytest.raises(AttributeError):
+            snapshot.add(Edge(1, "b", 3))
+        with pytest.raises(AttributeError):
+            g.edges_with_label("a").clear()
+        assert g.out_edges(1) == {Edge(1, "a", 2)}
+        assert g.edge_count() == 1
+
+    def test_version_counter_tracks_effective_mutations(self):
+        g = GraphDatabase()
+        start = g.version
+        g.add_node(1)
+        assert g.version == start + 1
+        g.add_node(1)  # no-op: already present
+        assert g.version == start + 1
+        g.add_edge(1, "a", 2)
+        after_edge = g.version
+        assert after_edge > start + 1
+        g.add_edge(1, "a", 2)  # duplicate edge: no-op
+        assert g.version == after_edge
+
 
 class TestPath:
     def test_label_and_internal_nodes(self):
