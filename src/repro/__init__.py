@@ -8,6 +8,8 @@ Public API highlights:
   the query model;
 - :class:`repro.Semantics` and :func:`repro.evaluate` — evaluation under
   standard, atom-injective, and query-injective semantics (§2.1, §3);
+- :func:`repro.evaluate_batch` — batched multi-query evaluation that
+  amortizes NFA compilation and atom-relation work across queries;
 - :func:`repro.contains` — containment deciders for every cell of
   Figure 1 (§4–§6), with honest bounded verdicts on the undecidable cell;
 - :mod:`repro.reductions` — executable hardness reductions (PCP, GCP2,
@@ -25,7 +27,7 @@ from repro.errors import (
 from repro.graphdb import GraphDatabase
 from repro.queries import CQ, CRPQ, Atom, CQAtom, parse_query, union_of
 from repro.regular import NFA, parse_regex
-from repro.semantics import Semantics, evaluate, in_evaluation
+from repro.semantics import Semantics, evaluate, evaluate_batch, in_evaluation
 
 __version__ = "1.0.0"
 
@@ -41,6 +43,7 @@ __all__ = [
     "NFA",
     "Semantics",
     "evaluate",
+    "evaluate_batch",
     "in_evaluation",
     "contains",
     "containment_cell",

@@ -2,6 +2,13 @@
 artifact, instance generators per cell, and paper-style row printers."""
 
 from repro.analysis.figure1 import FIGURE1, Figure1Cell, figure1_table_text
+from repro.analysis.batching import (
+    batch_report_text,
+    drop_all_caches,
+    evaluate_independent,
+    run_batch_throughput,
+    shared_atom_workload,
+)
 from repro.analysis.experiments import (
     agreement_matrix,
     hierarchy_check,
@@ -13,6 +20,11 @@ __all__ = [
     "Figure1Cell",
     "figure1_table_text",
     "agreement_matrix",
+    "batch_report_text",
+    "drop_all_caches",
+    "evaluate_independent",
     "hierarchy_check",
+    "run_batch_throughput",
     "semantics_census",
+    "shared_atom_workload",
 ]

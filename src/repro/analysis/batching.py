@@ -1,0 +1,167 @@
+"""Batch-throughput experiment (E6): batched vs independent serving.
+
+The paper's motivating workloads (§1) are many CRPQs over one
+knowledge graph.  E6 measures what the batch execution layer
+(:mod:`repro.engine.batch`) buys on such workloads: a query stream
+whose atoms draw from a small pool of languages is served either
+
+- **independent** — one :func:`repro.semantics.evaluation.evaluate`
+  call per query with the engine caches dropped in between, the cost
+  profile of one process (or cache-less service) per query; or
+- **batch** — one :class:`BatchExecutor` pass that compiles each
+  distinct language once and computes each distinct atom relation once.
+
+Families reuse the existing generators: the E3 ``uniform`` random
+graphs and the synthetic ``knowledge`` graph, with per-family
+alphabets.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+
+from repro.analysis.workloads import random_language
+from repro.engine.batch import BatchExecutor, QueryBatch
+from repro.engine.cache import clear_compilation_caches, invalidate_engine_caches
+from repro.graphdb.generators import social_knowledge_graph, uniform_random
+from repro.queries.atoms import Atom
+from repro.queries.crpq import CRPQ, QueryClass
+from repro.semantics.base import Semantics
+from repro.semantics.evaluation import evaluate
+
+
+@dataclass
+class BatchRow:
+    """One measurement: family, mode, totals, and the plan's dedup stats."""
+
+    family: str
+    mode: str  # "independent" | "batch"
+    num_queries: int
+    distinct_relations: int
+    seconds: float
+    answers: int
+
+    @property
+    def queries_per_second(self):
+        return self.num_queries / self.seconds if self.seconds > 0 else float("inf")
+
+    def __str__(self):
+        return (f"{self.family:<10} {self.mode:<12} {self.num_queries:>4} q  "
+                f"{self.distinct_relations:>3} rel  {self.seconds:>9.4f}s  "
+                f"{self.queries_per_second:>8.1f} q/s  "
+                f"{self.answers:>6} answers")
+
+
+def shared_atom_workload(num_queries=50, num_languages=6, alphabet=("a", "b"),
+                         seed=11, arity=2):
+    """A deterministic query stream whose atoms share a small language pool.
+
+    This is the shape the batch layer targets: ``num_queries`` CRPQs,
+    each with 1–2 atoms drawn from ``num_languages`` distinct languages,
+    so the distinct-relation count is bounded by the pool size while the
+    atom-occurrence count grows with the stream.
+    """
+    rng = random.Random(seed)
+    pool = [
+        random_language(rng, alphabet, QueryClass.CRPQ)
+        for _ in range(num_languages)
+    ]
+    queries = []
+    for _ in range(num_queries):
+        if rng.random() < 0.5:
+            atoms = (Atom("x", rng.choice(pool), "y"),)
+        else:
+            atoms = (
+                Atom("x", rng.choice(pool), "z"),
+                Atom("z", rng.choice(pool), "y"),
+            )
+        head = ("x", "y")[:arity]
+        queries.append(CRPQ(head, atoms))
+    return queries
+
+
+def _families(uniform_nodes=30, seed=11):
+    return (
+        ("uniform",
+         uniform_random(uniform_nodes, 3 * uniform_nodes, {"a", "b"},
+                        seed=seed),
+         ("a", "b")),
+        ("knowledge",
+         social_knowledge_graph(),
+         ("knows", "wrote", "cites")),
+    )
+
+
+def drop_all_caches(graph):
+    """Drop every engine cache the graph or process holds — the cold
+    state one process (or cache-less service) per query would start
+    from.  Shared by E6 and ``benchmarks/bench_batch.py`` so both
+    measure the same independent-mode baseline."""
+    invalidate_engine_caches(graph)
+    clear_compilation_caches()
+
+
+def evaluate_independent(queries, graph, semantics):
+    """One ``evaluate`` call per query with caches dropped in between —
+    the independent-serving baseline the batch executor is measured
+    against."""
+    results = []
+    for query in queries:
+        drop_all_caches(graph)
+        results.append(evaluate(query, graph, semantics))
+    return results
+
+
+def run_batch_throughput(num_queries=50, num_languages=6, seed=11,
+                         semantics=Semantics.STANDARD, max_workers=None,
+                         uniform_nodes=30):
+    """Run the E6 sweep; returns a list of :class:`BatchRow` (two rows —
+    independent then batch — per family, with identical answer totals)."""
+    semantics = Semantics.coerce(semantics)
+    rows = []
+    for family, graph, alphabet in _families(uniform_nodes, seed):
+        queries = shared_atom_workload(num_queries, num_languages,
+                                       alphabet=alphabet, seed=seed)
+        batch = QueryBatch(queries)
+        executor = BatchExecutor(graph, semantics, max_workers=max_workers)
+        distinct = len(executor.plan(batch).jobs)
+
+        start = time.perf_counter()
+        independent = evaluate_independent(queries, graph, semantics)
+        independent_seconds = time.perf_counter() - start
+
+        drop_all_caches(graph)
+        start = time.perf_counter()
+        batched = executor.execute(batch)
+        batch_seconds = time.perf_counter() - start
+
+        if batched != independent:
+            raise AssertionError(
+                f"batch/independent divergence on family {family!r}"
+            )
+        answers = sum(len(result) for result in batched)
+        rows.append(BatchRow(family, "independent", len(queries), distinct,
+                             independent_seconds, answers))
+        rows.append(BatchRow(family, "batch", len(queries), distinct,
+                             batch_seconds, answers))
+    return rows
+
+
+def batch_report_text(rows):
+    """Render rows plus the per-family batch speedup."""
+    lines = ["family     mode          #q   #rel    seconds       q/s  answers",
+             "-" * 66]
+    lines.extend(str(row) for row in rows)
+    lines.append("")
+    by_key = {(r.family, r.mode): r.seconds for r in rows}
+    for family in sorted({r.family for r in rows}):
+        independent = by_key.get((family, "independent"))
+        batched = by_key.get((family, "batch"))
+        if independent and batched and batched > 0:
+            lines.append(
+                f"{family}: batch speedup = {independent / batched:.1f}× "
+                f"over independent evaluation"
+            )
+    return "\n".join(lines)

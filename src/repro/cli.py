@@ -3,15 +3,17 @@
 Commands:
 
 - ``evaluate``  — evaluate a query over a graph file under a semantics;
+- ``batch``     — evaluate many queries (one per line) over one graph,
+  sharing compilation and atom-relation work across the batch;
 - ``contains``  — decide containment between two queries;
 - ``figure1``   — print the Figure 1 complexity table (optionally with the
   empirical agreement matrix);
 - ``examples``  — list the runnable example scripts.
 
-Graph files are plain text, one edge per line: ``source label target``
-(whitespace-separated; ``#`` comments allowed).  Queries use the
-:mod:`repro.queries.parser` syntax, e.g.
-``"Q(x, y) :- x -[(ab)*]-> y, y -[c*]-> x"``.
+Graph files are plain text: ``source label target`` declares an edge, a
+line with a single token declares an isolated node (whitespace-separated;
+``#`` comments allowed).  Queries use the :mod:`repro.queries.parser`
+syntax, e.g. ``"Q(x, y) :- x -[(ab)*]-> y, y -[c*]-> x"``.
 """
 
 from __future__ import annotations
@@ -28,7 +30,12 @@ from repro.semantics.trails import TrailSemantics, evaluate_trails
 
 
 def load_graph(path):
-    """Load a graph database from a ``source label target`` text file."""
+    """Load a graph database from a text file.
+
+    Each non-comment line is either ``source label target`` (an edge) or
+    a single token (an isolated node) — the latter is what lets graphs
+    with isolated nodes round-trip through the text format at all.
+    """
     graph = GraphDatabase()
     with open(path) as handle:
         for line_number, line in enumerate(handle, start=1):
@@ -36,21 +43,41 @@ def load_graph(path):
             if not line:
                 continue
             parts = line.split()
-            if len(parts) != 3:
+            if len(parts) == 1:
+                graph.add_node(parts[0])
+            elif len(parts) == 3:
+                source, label, target = parts
+                graph.add_edge(source, label, target)
+            else:
                 raise ValueError(
-                    f"{path}:{line_number}: expected 'source label target', "
-                    f"got {line!r}"
+                    f"{path}:{line_number}: expected 'source label target' "
+                    f"or a single 'node', got {line!r}"
                 )
-            source, label, target = parts
-            graph.add_edge(source, label, target)
     return graph
+
+
+_SEMANTICS_NAMES = " | ".join(
+    [s.value for s in Semantics] + [t.value for t in TrailSemantics]
+)
 
 
 def _semantics_argument(value):
     try:
         return Semantics.coerce(value)
     except ValueError:
+        pass
+    try:
         return TrailSemantics.coerce(value)
+    except ValueError:
+        raise ValueError(
+            f"unknown semantics: {value!r} (expected {_SEMANTICS_NAMES})"
+        ) from None
+
+
+def _print_answers(answers):
+    for answer in sorted(answers, key=repr):
+        print("\t".join(str(node) for node in answer) or "()")
+    print(f"# {len(answers)} answer(s)")
 
 
 def cmd_evaluate(args):
@@ -63,9 +90,47 @@ def cmd_evaluate(args):
         answers = evaluate(query, graph, semantics)
     print(f"# {query}")
     print(f"# semantics: {semantics}; graph: {graph}")
-    for answer in sorted(answers, key=repr):
-        print("\t".join(str(node) for node in answer) or "()")
-    print(f"# {len(answers)} answer(s)")
+    _print_answers(answers)
+    return 0
+
+
+def load_queries(path):
+    """Load a query-per-line file (``#`` comments and blank lines allowed)."""
+    queries = []
+    with open(path) as handle:
+        for line_number, line in enumerate(handle, start=1):
+            text = line.split("#", 1)[0].strip()
+            if not text:
+                continue
+            try:
+                queries.append(parse_query(text))
+            except Exception as error:
+                raise ValueError(
+                    f"{path}:{line_number}: {error}"
+                ) from error
+    return queries
+
+
+def cmd_batch(args):
+    from repro.engine.batch import BatchExecutor, QueryBatch
+
+    graph = load_graph(args.graph)
+    semantics = _semantics_argument(args.semantics)
+    if isinstance(semantics, TrailSemantics):
+        raise ValueError(
+            "batch mode supports st | a-inj | q-inj (trail semantics "
+            "have no batched executor yet)"
+        )
+    queries = load_queries(args.queries)
+    batch = QueryBatch(queries)
+    executor = BatchExecutor(graph, semantics, max_workers=args.workers)
+    plan = executor.warm(batch)
+    print(f"# graph: {graph}; semantics: {semantics}")
+    print(f"# plan: {plan} "
+          f"({plan.num_shared_atoms} atom occurrence(s) shared)")
+    for index, query, answers in executor.results(batch):
+        print(f"# [{index + 1}] {query}")
+        _print_answers(answers)
     return 0
 
 
@@ -152,6 +217,25 @@ def build_parser():
         help="st | a-inj | q-inj | atom-trail | query-trail",
     )
     p_eval.set_defaults(func=cmd_evaluate)
+
+    p_batch = sub.add_parser(
+        "batch",
+        help="evaluate many queries (one per line) over one graph, "
+             "sharing atom-relation work",
+    )
+    p_batch.add_argument("graph", help="edge-list file: 'source label target'")
+    p_batch.add_argument(
+        "queries",
+        help="query file, one query per line ('#' comments allowed)",
+    )
+    p_batch.add_argument(
+        "--semantics", default="st", help="st | a-inj | q-inj",
+    )
+    p_batch.add_argument(
+        "--workers", type=int, default=None,
+        help="thread-pool size for independent per-relation/per-query work",
+    )
+    p_batch.set_defaults(func=cmd_batch)
 
     p_cont = sub.add_parser("contains", help="decide Q1 ⊆ Q2")
     p_cont.add_argument("left")

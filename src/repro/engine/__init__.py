@@ -14,13 +14,19 @@ three pieces (see ARCHITECTURE.md for the full picture):
 - :mod:`repro.engine.product` — a single-sweep product-automaton
   reachability replacing the per-source BFS of the classical NL
   algorithm, plus reverse-reachability sets used to prune the
-  simple-path backtracking searches.
+  simple-path backtracking searches;
+- :mod:`repro.engine.batch` — the cross-query layer: a
+  :class:`QueryBatch`/:class:`BatchExecutor` pair that deduplicates
+  atom languages structurally across many queries, computes each
+  distinct atom relation once into a shared store, and evaluates every
+  query against it (optionally on a thread pool).
 
 Everything here is output-equivalent to the seed implementations; the
 differential suite (``tests/test_engine_differential.py``) pins that.
 """
 
 from repro.engine.adjacency import AdjacencyIndex, adjacency_index
+from repro.engine.batch import AtomJob, BatchExecutor, BatchPlan, QueryBatch
 from repro.engine.cache import (
     atom_relation,
     compiled_nfa,
@@ -34,9 +40,13 @@ __all__ = [
     "AdjacencyIndex",
     "adjacency_index",
     "atom_relation",
+    "AtomJob",
+    "BatchExecutor",
+    "BatchPlan",
     "compiled_nfa",
     "coreachable_states",
     "invalidate_engine_caches",
     "product_reachability_pairs",
+    "QueryBatch",
     "reversed_nfa",
 ]

@@ -1,0 +1,279 @@
+"""Batched multi-query execution over one graph database.
+
+The paper's motivating setting (§1) is knowledge-graph workloads where
+*many* CRPQs run against the same database.  The per-call engine caches
+(:mod:`repro.engine.cache`) already make repeated evaluation of one
+query cheap; this module adds the cross-query layer:
+
+- :class:`QueryBatch` — an ordered collection of queries (CRPQs, CQs,
+  or unions), each normalized to its ε-free disjuncts once at admission;
+- :class:`BatchExecutor` — plans the batch by structurally
+  deduplicating atom languages (compiled NFAs are interned, so equal
+  regexes collapse to one automaton), compiles each distinct NFA once,
+  computes each distinct atom relation once into a shared store, then
+  evaluates every query against that store.
+
+For standard and atom-injective semantics the shared store holds the
+atom *pair relations* ("standard" / "simple-path" /
+"simple-cycle-nonempty", the same kinds :mod:`repro.semantics.rpq`
+caches per graph version); query-injective evaluation has no pair
+relation to share — its joint backtracking still amortizes NFA
+compilation and the per-(automaton, target) co-reachability sets.
+
+``max_workers`` enables a thread pool for the independent units of
+work (one distinct atom relation, one query).  The per-unit code is
+pure Python, so the GIL bounds the parallelism; the pool mainly helps
+when relation computations interleave with cache-warm evaluations.
+Results are always yielded in input order regardless of worker count.
+
+Layering note: the engine sits *under* the semantics modules, so the
+imports of :mod:`repro.semantics.rpq` / ``evaluation`` here are local
+to the methods that need them (the same inversion-avoidance used by
+``rpq_evaluate``).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.engine.cache import compiled_nfa, query_result
+from repro.semantics.base import Semantics
+
+
+@dataclass(frozen=True)
+class AtomJob:
+    """One distinct unit of shared atom work: an interned automaton plus
+    the relation kind the semantics needs for it.
+
+    Equality follows ``(nfa, kind)``; NFAs hash by identity and the
+    compilation cache interns them, so two atoms with structurally equal
+    languages (and the same loop-ness under a-inj) collapse to one job.
+    """
+
+    nfa: object
+    kind: str  # "standard" | "simple-path" | "simple-cycle-nonempty"
+
+
+def atom_job(atom, semantics):
+    """The :class:`AtomJob` an atom contributes under ``semantics``.
+
+    Returns ``None`` for query-injective semantics: its joint search
+    consumes no precomputable pair relation.  The kind dispatch is
+    :func:`repro.semantics.rpq.atom_relation_kind` — the same table the
+    per-query relational encoding uses, so batched and sequential
+    evaluation can never disagree about which relation an atom needs.
+    """
+    from repro.semantics.rpq import atom_relation_kind
+
+    nfa = compiled_nfa(atom.language)  # dedupe/warm even under q-inj
+    kind = atom_relation_kind(atom, semantics)
+    return None if kind is None else AtomJob(nfa, kind)
+
+
+@dataclass(frozen=True)
+class BatchPlan:
+    """The shared-work summary for one (batch, semantics) pairing."""
+
+    semantics: Semantics
+    num_queries: int
+    num_disjuncts: int
+    num_atoms: int
+    num_distinct_languages: int
+    jobs: tuple  # distinct AtomJobs, first-seen order (empty for q-inj)
+
+    @property
+    def num_shared_atoms(self):
+        """Atom occurrences collapsing onto an already-seen language."""
+        return self.num_atoms - self.num_distinct_languages
+
+    def __str__(self):
+        summary = (f"{self.num_queries} queries, {self.num_disjuncts} ε-free "
+                   f"disjuncts, {self.num_atoms} atoms, "
+                   f"{self.num_distinct_languages} distinct atom languages")
+        if self.jobs:
+            summary += f", {len(self.jobs)} distinct atom relations"
+        return summary
+
+
+class QueryBatch:
+    """An ordered collection of queries destined for one graph.
+
+    Each added query (a CRPQ, CQ, or union thereof) is normalized to its
+    ε-free disjuncts immediately, so the per-query ε-elimination cost is
+    paid once even if the batch is executed repeatedly.
+    """
+
+    def __init__(self, queries=()):
+        self._entries = []
+        for query in queries:
+            self.add(query)
+
+    def add(self, query):
+        """Append a query; returns ``self`` for chaining."""
+        from repro.queries.crpq import union_of
+
+        disjuncts = []
+        for disjunct in union_of(query):
+            disjuncts.extend(disjunct.epsilon_free_union())
+        self._entries.append((query, tuple(disjuncts)))
+        return self
+
+    @property
+    def entries(self):
+        """Tuples ``(original_query, eps_free_disjuncts)`` in input order."""
+        return tuple(self._entries)
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __iter__(self):
+        return (query for query, _disjuncts in self._entries)
+
+
+class BatchExecutor:
+    """Evaluate a :class:`QueryBatch` over one graph under one semantics.
+
+    The executor owns a relation store mapping :class:`AtomJob` to its
+    frozen pair relation.  The store is filled through
+    :func:`repro.engine.cache.atom_relation` (so it cooperates with the
+    graph-scoped caches) but survives cap-induced cache eviction for the
+    lifetime of the executor — every query in the batch is guaranteed to
+    read each distinct relation from memory.
+
+    The executor is reusable across batches against the same graph; the
+    store is dropped automatically when the graph's version changes.
+    """
+
+    def __init__(self, graph, semantics, max_workers=None):
+        self.graph = graph
+        self.semantics = Semantics.coerce(semantics)
+        self.max_workers = max_workers
+        self._relations = {}
+        self._relations_version = graph.version
+
+    # ------------------------------------------------------------------
+    # Planning and warm-up
+    # ------------------------------------------------------------------
+
+    def plan(self, batch):
+        """Summarize the shared work without computing any relation."""
+        jobs = {}
+        languages = {}
+        num_disjuncts = 0
+        num_atoms = 0
+        for _query, disjuncts in batch.entries:
+            for disjunct in disjuncts:
+                num_disjuncts += 1
+                for atom in disjunct.atoms:
+                    num_atoms += 1
+                    languages.setdefault(compiled_nfa(atom.language), None)
+                    job = atom_job(atom, self.semantics)
+                    if job is not None:
+                        jobs.setdefault(job, None)
+        return BatchPlan(
+            semantics=self.semantics,
+            num_queries=len(batch),
+            num_disjuncts=num_disjuncts,
+            num_atoms=num_atoms,
+            num_distinct_languages=len(languages),
+            jobs=tuple(jobs),
+        )
+
+    def warm(self, batch):
+        """Compute every distinct atom relation the batch needs.
+
+        Returns the :class:`BatchPlan`.  Relations already in the store
+        (from a previous batch over the same graph version) are skipped.
+        """
+        self._check_version()
+        plan = self.plan(batch)
+        missing = [job for job in plan.jobs if job not in self._relations]
+        if self._pool_size(len(missing)) > 1:
+            with ThreadPoolExecutor(self._pool_size(len(missing))) as pool:
+                for job, pairs in zip(missing,
+                                      pool.map(self._compute_job, missing)):
+                    self._relations[job] = pairs
+        else:
+            for job in missing:
+                self._relations[job] = self._compute_job(job)
+        return plan
+
+    def _check_version(self):
+        if self._relations_version != self.graph.version:
+            self._relations = {}
+            self._relations_version = self.graph.version
+
+    def _pool_size(self, num_units):
+        if not self.max_workers or self.max_workers <= 1:
+            return 1
+        return min(self.max_workers, max(num_units, 1))
+
+    def _compute_job(self, job):
+        # Routed through semantics.rpq so the graph-scoped atom_relation
+        # cache is populated too (lazy import: engine sits under
+        # semantics).
+        from repro.semantics.rpq import relation_by_kind
+
+        return frozenset(relation_by_kind(self.graph, job.nfa, job.kind))
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def execute(self, batch):
+        """Evaluate the whole batch; one frozenset of answer tuples per
+        query, in input order."""
+        return [answers for _index, _query, answers in self.results(batch)]
+
+    def results(self, batch):
+        """Yield ``(index, query, answers)`` in input order as each
+        query completes (the streaming interface behind the CLI's
+        ``batch`` command)."""
+        self.warm(batch)
+        entries = batch.entries
+        pool_size = self._pool_size(len(entries))
+        if pool_size > 1:
+            with ThreadPoolExecutor(pool_size) as pool:
+                answer_stream = pool.map(self._entry_answers, entries)
+                for index, (entry, answers) in enumerate(
+                        zip(entries, answer_stream)):
+                    yield index, entry[0], answers
+        else:
+            for index, entry in enumerate(entries):
+                yield index, entry[0], self._entry_answers(entry)
+
+    def _entry_answers(self, entry):
+        _query, disjuncts = entry
+        answers = set()
+        for disjunct in disjuncts:
+            answers |= self._disjunct_answers(disjunct)
+        return frozenset(answers)
+
+    def _disjunct_answers(self, disjunct):
+        from repro.semantics import evaluation
+
+        if self.semantics is Semantics.QUERY_INJECTIVE:
+            return evaluation.evaluate_eps_free(
+                disjunct, self.graph, self.semantics
+            )
+        return query_result(
+            self.graph,
+            self.semantics,
+            disjunct,
+            lambda: evaluation.eps_free_answers_uncached(
+                disjunct, self.graph, self.semantics,
+                pairs_for=self._stored_pairs,
+            ),
+        )
+
+    def _stored_pairs(self, graph, atom, semantics):
+        """The ``pairs_for`` hook handed to the relational encoding:
+        read the atom's relation from the shared store (computing and
+        memoizing it on the spot if a query sneaked in an atom the plan
+        never saw)."""
+        job = atom_job(atom, semantics)
+        pairs = self._relations.get(job)
+        if pairs is None:
+            pairs = self._relations[job] = self._compute_job(job)
+        return pairs

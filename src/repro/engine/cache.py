@@ -29,17 +29,63 @@ identity, which is what makes the graph-scoped caches effective.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
+
 from repro.engine.adjacency import adjacency_index
 from repro.regular.nfa import NFA
 from repro.regular.syntax import Regex
 
-# Caps keep long-running processes bounded; when exceeded the cache is
-# simply dropped (correctness never depends on a hit).
+# Caps keep long-running processes bounded.  The process-wide NFA caches
+# evict least-recently-used entries one at a time (batch workloads with
+# more distinct regexes than the cap would thrash a cap-and-clear cache
+# and break the interning that makes the identity-keyed graph caches
+# effective); the graph-scoped caches below are simply dropped wholesale
+# when full (correctness never depends on a hit).
 _NFA_CACHE_CAP = 4096
 _GRAPH_CACHE_CAP = 4096
 
-_nfa_cache = {}
-_reverse_cache = {}
+
+class _LRUCache:
+    """A bounded mapping with least-recently-used eviction.
+
+    Thread-safe (the batch executor's worker threads compile NFAs
+    concurrently); ``get`` refreshes recency, insertion evicts the
+    stalest entries once the cap is exceeded.
+    """
+
+    def __init__(self, cap):
+        self._cap = cap
+        self._data = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, key):
+        with self._lock:
+            value = self._data.get(key)
+            if value is not None:
+                self._data.move_to_end(key)
+            return value
+
+    def put(self, key, value):
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self._cap:
+                self._data.popitem(last=False)
+
+    def clear(self):
+        with self._lock:
+            self._data.clear()
+
+    def __len__(self):
+        return len(self._data)
+
+    def __contains__(self, key):
+        return key in self._data
+
+
+_nfa_cache = _LRUCache(_NFA_CACHE_CAP)
+_reverse_cache = _LRUCache(_NFA_CACHE_CAP)
 
 
 def compiled_nfa(language, state_prefix=""):
@@ -57,9 +103,7 @@ def compiled_nfa(language, state_prefix=""):
     nfa = _nfa_cache.get(key)
     if nfa is None:
         nfa = NFA.from_regex(language, state_prefix=state_prefix)
-        if len(_nfa_cache) >= _NFA_CACHE_CAP:
-            _nfa_cache.clear()
-        _nfa_cache[key] = nfa
+        _nfa_cache.put(key, nfa)
     return nfa
 
 
@@ -68,9 +112,7 @@ def reversed_nfa(nfa):
     rev = _reverse_cache.get(nfa)
     if rev is None:
         rev = nfa.reverse()
-        if len(_reverse_cache) >= _NFA_CACHE_CAP:
-            _reverse_cache.clear()
-        _reverse_cache[nfa] = rev
+        _reverse_cache.put(nfa, rev)
     return rev
 
 

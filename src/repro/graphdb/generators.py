@@ -10,6 +10,7 @@ social/citation flavour for the examples.
 from __future__ import annotations
 
 import random
+import warnings
 
 from repro.graphdb.graph import GraphDatabase
 
@@ -31,18 +32,42 @@ def labeled_cycle(labels, prefix="c"):
     return graph
 
 
-def uniform_random(num_nodes, num_edges, alphabet, seed=0):
-    """A uniformly random multigraph with the given size and alphabet."""
+def uniform_random(num_nodes, num_edges, alphabet, seed=0, max_attempts=None):
+    """A uniformly random multigraph with the given size and alphabet.
+
+    Raises :class:`ValueError` when ``num_edges`` exceeds the number of
+    distinct labeled edges the graph can hold (edges are a *set*, so the
+    request can never be met), and emits a :class:`RuntimeWarning` if the
+    rejection-sampling attempt budget (``max_attempts``, default
+    ``50 * num_edges``) runs out before reaching ``num_edges`` — a
+    silently smaller graph would skew scaling and benchmark rows.
+    """
     rng = random.Random(seed)
     alphabet = sorted(alphabet, key=repr)
+    capacity = num_nodes * num_nodes * len(alphabet)
+    if num_edges > capacity:
+        raise ValueError(
+            f"uniform_random cannot place {num_edges} distinct edges: "
+            f"{num_nodes} nodes over {len(alphabet)} label(s) admit at "
+            f"most {capacity}"
+        )
     graph = GraphDatabase(nodes=range(num_nodes))
     attempts = 0
-    while graph.edge_count() < num_edges and attempts < 50 * num_edges:
+    budget = 50 * num_edges if max_attempts is None else max_attempts
+    while graph.edge_count() < num_edges and attempts < budget:
         source = rng.randrange(num_nodes)
         target = rng.randrange(num_nodes)
         label = rng.choice(alphabet)
         graph.add_edge(source, label, target)
         attempts += 1
+    if graph.edge_count() < num_edges:
+        warnings.warn(
+            f"uniform_random produced {graph.edge_count()} of "
+            f"{num_edges} requested edges after {budget} attempts "
+            f"(dense multigraph request); pass a larger max_attempts",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     return graph
 
 

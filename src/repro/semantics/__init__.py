@@ -8,7 +8,7 @@ from repro.semantics.expansion import (
     atom_injective_expansions,
     expansion_for_profile,
 )
-from repro.semantics.evaluation import evaluate, in_evaluation
+from repro.semantics.evaluation import evaluate, evaluate_batch, in_evaluation
 from repro.semantics.trails import TrailSemantics, evaluate_trails
 from repro.semantics import rpq
 
@@ -22,6 +22,7 @@ __all__ = [
     "atom_injective_expansions",
     "expansion_for_profile",
     "evaluate",
+    "evaluate_batch",
     "in_evaluation",
     "rpq",
 ]

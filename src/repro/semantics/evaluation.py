@@ -29,7 +29,7 @@ from repro.queries.atoms import CQAtom
 from repro.queries.cq import CQ
 from repro.queries.crpq import union_of
 from repro.semantics.base import Semantics
-from repro.semantics.rpq import simple_cycle_nodes, simple_path_pairs, standard_pairs
+from repro.semantics.rpq import atom_relation_kind, relation_by_kind
 
 
 def evaluate(query, graph, semantics):
@@ -42,8 +42,29 @@ def evaluate(query, graph, semantics):
     results = set()
     for disjunct in union_of(query):
         for eps_free in disjunct.epsilon_free_union():
-            results |= _evaluate_eps_free(eps_free, graph, semantics)
+            results |= evaluate_eps_free(eps_free, graph, semantics)
     return frozenset(results)
+
+
+def evaluate_batch(queries, graph, semantics, max_workers=None):
+    """Evaluate many queries over one graph, amortizing shared work.
+
+    ``queries`` is a sequence; each element may itself be a CRPQ, CQ, or
+    union.  Returns a list with one frozenset of answer tuples per input
+    query, in input order — each entry equals
+    ``evaluate(queries[i], graph, semantics)`` exactly.
+
+    The heavy lifting lives in :mod:`repro.engine.batch`: atom languages
+    are deduplicated structurally across the whole batch, each distinct
+    NFA is compiled once, each distinct atom relation is computed once
+    into a shared store, and only then are the queries glued.
+    ``max_workers`` > 1 runs the independent per-relation / per-query
+    units on a thread pool.
+    """
+    from repro.engine.batch import BatchExecutor, QueryBatch
+
+    executor = BatchExecutor(graph, semantics, max_workers=max_workers)
+    return executor.execute(QueryBatch(queries))
 
 
 def in_evaluation(query, graph, target_tuple, semantics):
@@ -75,25 +96,38 @@ def in_evaluation(query, graph, target_tuple, semantics):
 # ----------------------------------------------------------------------
 
 
-def _evaluate_eps_free(query, graph, semantics):
-    # Full per-disjunct results are memoized per graph version: repeated
-    # evaluation of an unchanged (query, graph, semantics) triple — the
-    # query-serving hot path — reduces to a dictionary lookup.
+def evaluate_eps_free(query, graph, semantics):
+    """Evaluate one ε-free CRPQ disjunct (no coercion, no ε-elimination).
+
+    Full per-disjunct results are memoized per graph version: repeated
+    evaluation of an unchanged (query, graph, semantics) triple — the
+    query-serving hot path — reduces to a dictionary lookup.  The batch
+    executor shares this cache, so batched and one-at-a-time serving
+    interleave freely.
+    """
     return query_result(
         graph,
         semantics,
         query,
-        lambda: _evaluate_eps_free_uncached(query, graph, semantics),
+        lambda: eps_free_answers_uncached(query, graph, semantics),
     )
 
 
-def _evaluate_eps_free_uncached(query, graph, semantics):
+def eps_free_answers_uncached(query, graph, semantics, pairs_for=None):
+    """The uncached body of :func:`evaluate_eps_free`.
+
+    ``pairs_for(graph, atom, semantics)`` optionally overrides where the
+    st / a-inj relational encoding reads its atom pair relations — the
+    batch executor passes its shared relation store here.
+    """
     if semantics is Semantics.QUERY_INJECTIVE:
         return {
             tuple(mu[v] for v in query.head)
             for mu in _qinj_solutions(query, graph)
         }
-    relation_graph, relation_cq = _relational_encoding(query, graph, semantics)
+    relation_graph, relation_cq = _relational_encoding(
+        query, graph, semantics, pairs_for=pairs_for
+    )
     return {
         tuple(hom[v] for v in query.head)
         for hom in homomorphisms(relation_cq, relation_graph)
@@ -116,30 +150,28 @@ def _check_eps_free(query, graph, target_tuple, semantics):
     return False
 
 
-def _relational_encoding(query, graph, semantics):
+def atom_pairs(graph, atom, semantics):
+    """The pair relation of one atom under st / a-inj semantics: walks
+    for standard, simple paths (simple cycles for loop atoms) for
+    atom-injective.  Cached per graph version via the engine layer."""
+    return relation_by_kind(
+        graph, atom.language, atom_relation_kind(atom, semantics)
+    )
+
+
+def _relational_encoding(query, graph, semantics, pairs_for=None):
     """Reduce st / a-inj evaluation to CQ matching over a relation graph.
 
     Each atom ``x -[L]-> y`` becomes a fresh edge label ``("rel", i)`` whose
-    edge set is the atom's pair relation under the semantics: walks for
-    standard, simple paths / simple cycles for atom-injective.
+    edge set is the atom's pair relation under the semantics
+    (:func:`atom_pairs`, or the ``pairs_for`` override).
     """
+    pairs_for = pairs_for or atom_pairs
     relation_graph = GraphDatabase(nodes=graph.nodes)
     cq_atoms = []
     for index, atom in enumerate(query.atoms):
         label = ("rel", index)
-        if semantics is Semantics.STANDARD:
-            pairs = standard_pairs(graph, atom.language)
-        else:
-            if atom.is_loop():
-                pairs = {
-                    (node, node)
-                    for node in simple_cycle_nodes(
-                        graph, atom.language, include_empty=False
-                    )
-                }
-            else:
-                pairs = simple_path_pairs(graph, atom.language)
-        for source, target in pairs:
+        for source, target in pairs_for(graph, atom, semantics):
             relation_graph.add_edge(source, label, target)
         cq_atoms.append(CQAtom(atom.source, label, atom.target))
     relation_cq = CQ(query.head, cq_atoms, extra_variables=query.variables)

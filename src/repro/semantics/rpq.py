@@ -20,6 +20,7 @@ from __future__ import annotations
 from repro.engine.cache import atom_relation, compiled_nfa
 from repro.engine.product import product_reachability_pairs
 from repro.graphdb.paths import simple_cycles_through, simple_paths
+from repro.semantics.base import Semantics
 
 
 def standard_pairs(graph, language):
@@ -101,14 +102,43 @@ def _simple_cycle_nodes_uncached(graph, nfa, include_empty):
     return nodes
 
 
+def atom_relation_kind(atom, semantics):
+    """The relation kind one atom needs under ``semantics``: the single
+    source of the semantics→relation dispatch shared by the per-query
+    relational encoding and the batch executor's job planning.
+
+    Returns ``None`` for query-injective semantics (its joint search
+    consumes no precomputable pair relation).
+    """
+    if semantics is Semantics.QUERY_INJECTIVE:
+        return None
+    if semantics is Semantics.STANDARD:
+        return "standard"
+    return "simple-cycle-nonempty" if atom.is_loop() else "simple-path"
+
+
+def relation_by_kind(graph, language, kind):
+    """Compute the pair relation named by :func:`atom_relation_kind`
+    (loop-atom cycle relations are returned as ``(v, v)`` pairs)."""
+    if kind == "standard":
+        return standard_pairs(graph, language)
+    if kind == "simple-path":
+        return simple_path_pairs(graph, language)
+    if kind == "simple-cycle-nonempty":
+        return frozenset(
+            (node, node)
+            for node in simple_cycle_nodes(graph, language,
+                                           include_empty=False)
+        )
+    raise ValueError(f"unknown atom relation kind: {kind!r}")
+
+
 def rpq_evaluate(graph, language, semantics):
     """Evaluate the RPQ x -[L]-> y under the given semantics name.
 
     Standard semantics uses walks; both injective semantics coincide with
     simple-path semantics at the RPQ level (a single atom).
     """
-    from repro.semantics.base import Semantics
-
     semantics = Semantics.coerce(semantics)
     if semantics is Semantics.STANDARD:
         return standard_pairs(graph, language)

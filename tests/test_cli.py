@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.cli import build_parser, load_graph, main
+from repro.cli import _semantics_argument, build_parser, load_graph, main
+from repro.io import graph_from_dict, graph_to_dict
 
 
 @pytest.fixture
@@ -33,8 +34,22 @@ class TestLoadGraph:
     def test_malformed_line(self, tmp_path):
         path = tmp_path / "g.txt"
         path.write_text("u a\n")
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="source label target"):
             load_graph(str(path))
+
+    def test_isolated_node_line(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("u a v\nlonely\n")
+        graph = load_graph(str(path))
+        assert graph.node_count() == 3
+        assert "lonely" in graph.nodes
+        assert graph.edge_count() == 1
+
+    def test_isolated_node_round_trip(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("u a v\nlonely  # an isolated node\n")
+        graph = load_graph(str(path))
+        assert graph_from_dict(graph_to_dict(graph)) == graph
 
 
 class TestCommands:
@@ -104,3 +119,58 @@ class TestCommands:
         ])
         assert code == 1
         assert "counterexample" in capsys.readouterr().out
+
+
+class TestSemanticsArgument:
+    def test_accepts_all_five(self):
+        for name in ("st", "a-inj", "q-inj", "atom-trail", "query-trail"):
+            assert str(_semantics_argument(name)) == name
+
+    def test_unknown_value_reports_union_of_names(self, graph_file):
+        with pytest.raises(ValueError) as excinfo:
+            main(["evaluate", "Q() :- x -[a]-> y", graph_file,
+                  "--semantics", "bogus"])
+        message = str(excinfo.value)
+        for name in ("st", "a-inj", "q-inj", "atom-trail", "query-trail"):
+            assert name in message
+
+
+class TestBatchCommand:
+    @pytest.fixture
+    def queries_file(self, tmp_path):
+        path = tmp_path / "queries.txt"
+        path.write_text(
+            "# a small shared-atom workload\n"
+            "Q(x, y) :- x -[(ab)*]-> y, y -[c*]-> x\n"
+            "\n"
+            "Q(x, y) :- x -[(ab)*]-> y\n"
+            "Q() :- x -[a]-> y\n"
+        )
+        return str(path)
+
+    def test_batch_matches_evaluate(self, graph_file, queries_file, capsys):
+        code = main(["batch", graph_file, queries_file,
+                     "--semantics", "a-inj"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# plan: 3 queries" in out
+        assert "distinct atom relations" in out
+        assert "# [1]" in out and "# [3]" in out
+        assert "u\tw" in out
+        assert "()" in out
+
+    def test_batch_with_workers(self, graph_file, queries_file, capsys):
+        code = main(["batch", graph_file, queries_file, "--workers", "2"])
+        assert code == 0
+        assert "# [3]" in capsys.readouterr().out
+
+    def test_batch_rejects_trail_semantics(self, graph_file, queries_file):
+        with pytest.raises(ValueError, match="trail"):
+            main(["batch", graph_file, queries_file,
+                  "--semantics", "atom-trail"])
+
+    def test_batch_reports_query_parse_location(self, graph_file, tmp_path):
+        path = tmp_path / "queries.txt"
+        path.write_text("Q(x) :- x -[a]-> y\nthis is not a query\n")
+        with pytest.raises(ValueError, match=r"queries\.txt:2"):
+            main(["batch", graph_file, str(path)])

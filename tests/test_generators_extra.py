@@ -41,6 +41,29 @@ class TestFigure2Shapes:
         assert ("u", "v") not in simple
 
 
+class TestUniformRandom:
+    def test_exact_edge_count_when_feasible(self):
+        g = generators.uniform_random(5, 10, {"a", "b"}, seed=0)
+        assert g.edge_count() == 10
+        assert g.node_count() == 5
+
+    def test_infeasible_request_raises(self):
+        # 2 nodes × 2 nodes × 1 label admit only 4 distinct edges.
+        with pytest.raises(ValueError, match="at most 4"):
+            generators.uniform_random(2, 100, {"a"})
+
+    def test_exhausted_attempt_budget_warns(self):
+        with pytest.warns(RuntimeWarning, match="requested edges"):
+            g = generators.uniform_random(5, 10, {"a"}, seed=0,
+                                          max_attempts=2)
+        assert g.edge_count() < 10
+
+    def test_no_warning_on_satisfied_request(self, recwarn):
+        generators.uniform_random(6, 12, {"a", "b"}, seed=1)
+        assert not [w for w in recwarn.list
+                    if issubclass(w.category, RuntimeWarning)]
+
+
 class TestLabeledShapes:
     def test_cycle_wraps(self):
         g = generators.labeled_cycle("abc")
