@@ -10,6 +10,9 @@ Public API highlights:
   standard, atom-injective, and query-injective semantics (§2.1, §3);
 - :func:`repro.evaluate_batch` — batched multi-query evaluation that
   amortizes NFA compilation and atom-relation work across queries;
+- :func:`repro.explain_query` — the st / a-inj join plan (acyclic vs
+  cyclic per ε-free disjunct, join-tree shape, relation sizes) without
+  executing any glue;
 - :func:`repro.contains` — containment deciders for every cell of
   Figure 1 (§4–§6), with honest bounded verdicts on the undecidable cell;
 - :mod:`repro.reductions` — executable hardness reductions (PCP, GCP2,
@@ -24,6 +27,7 @@ from repro.errors import (
     ReproError,
     SearchBudgetExceeded,
 )
+from repro.engine.planner import explain_query
 from repro.graphdb import GraphDatabase
 from repro.queries import CQ, CRPQ, Atom, CQAtom, parse_query, union_of
 from repro.regular import NFA, parse_regex
@@ -44,6 +48,7 @@ __all__ = [
     "Semantics",
     "evaluate",
     "evaluate_batch",
+    "explain_query",
     "in_evaluation",
     "contains",
     "containment_cell",

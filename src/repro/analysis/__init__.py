@@ -14,6 +14,12 @@ from repro.analysis.experiments import (
     hierarchy_check,
     semantics_census,
 )
+from repro.analysis.join_glue import (
+    chain_query,
+    csp_glue_evaluate,
+    join_glue_report_text,
+    run_join_glue_scaling,
+)
 
 __all__ = [
     "FIGURE1",
@@ -21,10 +27,14 @@ __all__ = [
     "figure1_table_text",
     "agreement_matrix",
     "batch_report_text",
+    "chain_query",
+    "csp_glue_evaluate",
     "drop_all_caches",
     "evaluate_independent",
     "hierarchy_check",
+    "join_glue_report_text",
     "run_batch_throughput",
+    "run_join_glue_scaling",
     "semantics_census",
     "shared_atom_workload",
 ]

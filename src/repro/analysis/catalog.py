@@ -88,6 +88,18 @@ CATALOG = (
         _social,
         "CRPQfin shape",
     ),
+    CatalogEntry(
+        "chain-6",
+        "length-6 chain — the join engine's acceptance workload (E7): "
+        "GYO-acyclic, evaluated by the Yannakakis semijoin pipeline",
+        parse_query(
+            "Q(x0, x6) :- x0 -[<knows>]-> x1, x1 -[<knows>]-> x2, "
+            "x2 -[<knows>]-> x3, x3 -[<wrote>]-> x4, "
+            "x4 -[<cites>]-> x5, x5 -[<cites>]-> x6"
+        ),
+        _social,
+        "E7 workload / Wikidata-log shape [7]",
+    ),
 )
 
 

@@ -84,6 +84,18 @@ def cmd_evaluate(args):
     graph = load_graph(args.graph)
     query = parse_query(args.query)
     semantics = _semantics_argument(args.semantics)
+    if args.explain:
+        if isinstance(semantics, TrailSemantics):
+            raise ValueError(
+                "--explain supports st | a-inj | q-inj (trail semantics "
+                "have no join planner)"
+            )
+        from repro.engine.planner import explain_query
+
+        print(f"# {query}")
+        print(f"# semantics: {semantics}; graph: {graph}")
+        print(explain_query(query, graph, semantics))
+        return 0
     if isinstance(semantics, TrailSemantics):
         answers = evaluate_trails(query, graph, semantics)
     else:
@@ -124,11 +136,15 @@ def cmd_batch(args):
     queries = load_queries(args.queries)
     batch = QueryBatch(queries)
     executor = BatchExecutor(graph, semantics, max_workers=args.workers)
+    if args.explain:
+        print(f"# graph: {graph}; semantics: {semantics}")
+        print(executor.explain(batch))
+        return 0
     plan = executor.warm(batch)
     print(f"# graph: {graph}; semantics: {semantics}")
     print(f"# plan: {plan} "
           f"({plan.num_shared_atoms} atom occurrence(s) shared)")
-    for index, query, answers in executor.results(batch):
+    for index, query, answers in executor.results(batch, warmed=True):
         print(f"# [{index + 1}] {query}")
         _print_answers(answers)
     return 0
@@ -216,6 +232,12 @@ def build_parser():
         "--semantics", default="st",
         help="st | a-inj | q-inj | atom-trail | query-trail",
     )
+    p_eval.add_argument(
+        "--explain", action="store_true",
+        help="print the join plan per ε-free disjunct (acyclic vs cyclic, "
+             "join-tree shape, relation sizes) instead of executing "
+             "(st / a-inj; q-inj reports its joint search)",
+    )
     p_eval.set_defaults(func=cmd_evaluate)
 
     p_batch = sub.add_parser(
@@ -234,6 +256,12 @@ def build_parser():
     p_batch.add_argument(
         "--workers", type=int, default=None,
         help="thread-pool size for independent per-relation/per-query work",
+    )
+    p_batch.add_argument(
+        "--explain", action="store_true",
+        help="print the shared-work batch plan and every query's join "
+             "plan (warms atom relations for the size annotations, "
+             "executes no query)",
     )
     p_batch.set_defaults(func=cmd_batch)
 

@@ -19,7 +19,16 @@ three pieces (see ARCHITECTURE.md for the full picture):
   :class:`QueryBatch`/:class:`BatchExecutor` pair that deduplicates
   atom languages structurally across many queries, computes each
   distinct atom relation once into a shared store, and evaluates every
-  query against it (optionally on a thread pool).
+  query against it (optionally on a thread pool);
+- :mod:`repro.engine.relations` — hash-indexed binary
+  :class:`Relation` tables (by-source / by-target dicts built once per
+  atom relation), the base tables of the join engine;
+- :mod:`repro.engine.join` — the tuple-relation algebra (hash join,
+  semijoin, projection) the planner executes;
+- :mod:`repro.engine.planner` — the st / a-inj glue: GYO acyclicity
+  test → Yannakakis semijoin pipeline for acyclic disjuncts; semijoin
+  pre-reduction + min-degree variable elimination for cyclic ones, with
+  the backtracking matcher as the fallback on the reduced residue.
 
 Everything here is output-equivalent to the seed implementations; the
 differential suite (``tests/test_engine_differential.py``) pins that.
@@ -34,19 +43,31 @@ from repro.engine.cache import (
     invalidate_engine_caches,
     reversed_nfa,
 )
+from repro.engine.join import TupleRelation, natural_join, project, semijoin
+from repro.engine.planner import JoinPlan, explain_query, plan_eps_free
 from repro.engine.product import product_reachability_pairs
+from repro.engine.relations import Relation, atom_relation_index
 
 __all__ = [
     "AdjacencyIndex",
     "adjacency_index",
     "atom_relation",
+    "atom_relation_index",
     "AtomJob",
     "BatchExecutor",
     "BatchPlan",
     "compiled_nfa",
     "coreachable_states",
+    "explain_query",
     "invalidate_engine_caches",
+    "JoinPlan",
+    "natural_join",
+    "plan_eps_free",
     "product_reachability_pairs",
+    "project",
     "QueryBatch",
+    "Relation",
     "reversed_nfa",
+    "semijoin",
+    "TupleRelation",
 ]

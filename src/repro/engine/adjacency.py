@@ -36,9 +36,13 @@ class AdjacencyIndex:
         "_in_sorted",
         "_out_by_label",
         "_in_by_label",
+        "_label_sources",
+        "_label_targets",
+        "_label_loops",
     )
 
     _EMPTY = ()
+    _EMPTY_SET = frozenset()
 
     def __init__(self, graph):
         self.version = graph.version
@@ -71,6 +75,23 @@ class AdjacencyIndex:
         self._in_sorted = in_sorted
         self._out_by_label = out_by_label
         self._in_by_label = in_by_label
+        label_sources = {}
+        label_targets = {}
+        label_loops = {}
+        for edge in graph.edges:
+            label_sources.setdefault(edge.label, set()).add(edge.source)
+            label_targets.setdefault(edge.label, set()).add(edge.target)
+            if edge.source == edge.target:
+                label_loops.setdefault(edge.label, set()).add(edge.source)
+        self._label_sources = {
+            label: frozenset(nodes) for label, nodes in label_sources.items()
+        }
+        self._label_targets = {
+            label: frozenset(nodes) for label, nodes in label_targets.items()
+        }
+        self._label_loops = {
+            label: frozenset(nodes) for label, nodes in label_loops.items()
+        }
 
     def out_sorted(self, node):
         """Edges leaving ``node``, sorted by :func:`edge_sort_key`."""
@@ -87,6 +108,18 @@ class AdjacencyIndex:
     def in_sources(self, node):
         """``{label: (sources...)}`` partition of the in-edges of ``node``."""
         return self._in_by_label.get(node)
+
+    def label_sources(self, label):
+        """Nodes with an outgoing ``label`` edge (a frozenset)."""
+        return self._label_sources.get(label, self._EMPTY_SET)
+
+    def label_targets(self, label):
+        """Nodes with an incoming ``label`` edge (a frozenset)."""
+        return self._label_targets.get(label, self._EMPTY_SET)
+
+    def label_loops(self, label):
+        """Nodes with a ``label`` self-loop (a frozenset)."""
+        return self._label_loops.get(label, self._EMPTY_SET)
 
 
 def adjacency_index(graph):

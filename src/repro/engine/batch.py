@@ -14,9 +14,11 @@ query cheap; this module adds the cross-query layer:
   evaluates every query against that store.
 
 For standard and atom-injective semantics the shared store holds the
-atom *pair relations* ("standard" / "simple-path" /
-"simple-cycle-nonempty", the same kinds :mod:`repro.semantics.rpq`
-caches per graph version); query-injective evaluation has no pair
+atom relations as hash-indexed :class:`~repro.engine.relations.Relation`
+tables ("standard" / "simple-path" / "simple-cycle-nonempty", the same
+kinds :mod:`repro.semantics.rpq` caches per graph version), which the
+join planner (:mod:`repro.engine.planner`) consumes directly through
+its ``relation_for`` hook; query-injective evaluation has no pair
 relation to share — its joint backtracking still amortizes NFA
 compilation and the per-(automaton, target) co-reachability sets.
 
@@ -135,7 +137,7 @@ class BatchExecutor:
     """Evaluate a :class:`QueryBatch` over one graph under one semantics.
 
     The executor owns a relation store mapping :class:`AtomJob` to its
-    frozen pair relation.  The store is filled through
+    hash-indexed relation.  The store is filled through
     :func:`repro.engine.cache.atom_relation` (so it cooperates with the
     graph-scoped caches) but survives cap-induced cache eviction for the
     lifetime of the executor — every query in the batch is guaranteed to
@@ -212,10 +214,12 @@ class BatchExecutor:
     def _compute_job(self, job):
         # Routed through semantics.rpq so the graph-scoped atom_relation
         # cache is populated too (lazy import: engine sits under
-        # semantics).
+        # semantics).  The store holds hash-indexed Relations — the form
+        # the join planner consumes — not raw pair sets.
+        from repro.engine.relations import Relation
         from repro.semantics.rpq import relation_by_kind
 
-        return frozenset(relation_by_kind(self.graph, job.nfa, job.kind))
+        return Relation(relation_by_kind(self.graph, job.nfa, job.kind))
 
     # ------------------------------------------------------------------
     # Execution
@@ -226,11 +230,18 @@ class BatchExecutor:
         query, in input order."""
         return [answers for _index, _query, answers in self.results(batch)]
 
-    def results(self, batch):
+    def results(self, batch, warmed=False):
         """Yield ``(index, query, answers)`` in input order as each
         query completes (the streaming interface behind the CLI's
-        ``batch`` command)."""
-        self.warm(batch)
+        ``batch`` command).  ``warmed=True`` skips the warm-up pass for
+        callers that already ran :meth:`warm` on this batch (the CLI
+        warms once to print the plan, then streams); the version check
+        still runs, so a graph mutated between the calls drops the
+        stale store and the relations recompute lazily."""
+        if warmed:
+            self._check_version()
+        else:
+            self.warm(batch)
         entries = batch.entries
         pool_size = self._pool_size(len(entries))
         if pool_size > 1:
@@ -263,17 +274,41 @@ class BatchExecutor:
             disjunct,
             lambda: evaluation.eps_free_answers_uncached(
                 disjunct, self.graph, self.semantics,
-                pairs_for=self._stored_pairs,
+                relation_for=self._stored_relation,
             ),
         )
 
-    def _stored_pairs(self, graph, atom, semantics):
-        """The ``pairs_for`` hook handed to the relational encoding:
-        read the atom's relation from the shared store (computing and
-        memoizing it on the spot if a query sneaked in an atom the plan
-        never saw)."""
+    def _stored_relation(self, graph, atom, semantics):
+        """The ``relation_for`` hook handed to the join planner: read
+        the atom's hash-indexed relation from the shared store
+        (computing and memoizing it on the spot if a query sneaked in an
+        atom the plan never saw)."""
         job = atom_job(atom, semantics)
-        pairs = self._relations.get(job)
-        if pairs is None:
-            pairs = self._relations[job] = self._compute_job(job)
-        return pairs
+        relation = self._relations.get(job)
+        if relation is None:
+            relation = self._relations[job] = self._compute_job(job)
+        return relation
+
+    def explain(self, batch):
+        """Render the batch plan plus every disjunct's join plan without
+        executing any glue (the CLI's ``batch --explain``).  Relations
+        are warmed first — plan rendering reports their sizes."""
+        from repro.engine.planner import explain_query, plan_eps_free
+
+        plan = self.warm(batch)
+        lines = [f"batch plan: {plan} "
+                 f"({plan.num_shared_atoms} atom occurrence(s) shared)"]
+        if self.semantics is Semantics.QUERY_INJECTIVE:
+            lines.append(explain_query((), self.graph, self.semantics))
+            return "\n".join(lines)
+        for index, (query, disjuncts) in enumerate(batch.entries):
+            lines.append("")
+            lines.append(f"[{index + 1}] {query}")
+            for disjunct in disjuncts:
+                join_plan = plan_eps_free(
+                    disjunct, self.graph, self.semantics,
+                    relation_for=self._stored_relation,
+                )
+                lines.extend("  " + line
+                             for line in join_plan.explain().splitlines())
+        return "\n".join(lines)

@@ -157,15 +157,24 @@ def _language_key(language):
     return language
 
 
-def _get_or_compute(graph, key, compute):
+def graph_cached(graph, key, compute):
+    """Get-or-compute an arbitrary *immutable* value in the graph-scoped
+    cache (same version-tagged store and cap-and-clear policy as the
+    relation caches).  Callers must hand back values that are safe to
+    share across every consumer of the same graph version — the join
+    engine uses this for its hash-indexed :class:`Relation` tables."""
     cache = _graph_cache(graph)
     value = cache.get(key)
     if value is None:
-        value = frozenset(compute())
+        value = compute()
         if len(cache) >= _GRAPH_CACHE_CAP:
             cache.clear()
         cache[key] = value
     return value
+
+
+def _get_or_compute(graph, key, compute):
+    return graph_cached(graph, key, lambda: frozenset(compute()))
 
 
 def atom_relation(graph, language, kind, compute):

@@ -1,0 +1,134 @@
+"""Hash-indexed binary relations — the base tables of the join engine.
+
+The st / a-inj glue used to materialize every atom relation into a fresh
+relation :class:`~repro.graphdb.graph.GraphDatabase` edge-by-edge on
+every uncached evaluation, only so the CSP matcher could probe it with
+``has_edge``.  A :class:`Relation` replaces that: the pair set plus
+by-source / by-target hash indexes, built **once per atom relation** and
+cached per graph version next to the pair relation itself
+(:func:`atom_relation_index`).  The planner (:mod:`repro.engine.planner`)
+reads its base tables from here; the batch executor keeps indexed
+relations in its shared store and feeds them in through the
+``relation_for`` hook.
+"""
+
+from __future__ import annotations
+
+from repro.engine.cache import compiled_nfa, graph_cached
+
+_EMPTY = frozenset()
+
+
+class Relation:
+    """An immutable binary relation R ⊆ V × V with hash indexes.
+
+    ``pairs`` is the raw pair set; ``by_source`` / ``by_target`` map a
+    node to the frozenset of its partners.  All containers are frozen —
+    one :class:`Relation` is shared by every plan over the same graph
+    version.
+    """
+
+    __slots__ = ("pairs", "by_source", "by_target")
+
+    def __init__(self, pairs):
+        pairs = frozenset(pairs)
+        by_source = {}
+        by_target = {}
+        for source, target in pairs:
+            by_source.setdefault(source, set()).add(target)
+            by_target.setdefault(target, set()).add(source)
+        self.pairs = pairs
+        self.by_source = {
+            source: frozenset(targets) for source, targets in by_source.items()
+        }
+        self.by_target = {
+            target: frozenset(sources) for target, sources in by_target.items()
+        }
+
+    def __len__(self):
+        return len(self.pairs)
+
+    def __contains__(self, pair):
+        return pair in self.pairs
+
+    def __iter__(self):
+        return iter(self.pairs)
+
+    @property
+    def sources(self):
+        """The set of nodes with at least one outgoing pair."""
+        return self.by_source.keys()
+
+    @property
+    def targets(self):
+        """The set of nodes with at least one incoming pair."""
+        return self.by_target.keys()
+
+    def targets_of(self, source):
+        """{t : (source, t) ∈ R} (a frozenset, possibly empty)."""
+        return self.by_source.get(source, _EMPTY)
+
+    def sources_of(self, target):
+        """{s : (s, target) ∈ R} (a frozenset, possibly empty)."""
+        return self.by_target.get(target, _EMPTY)
+
+    def diagonal(self):
+        """{v : (v, v) ∈ R} — a loop atom read as a unary relation."""
+        return frozenset(
+            source for source in self.by_source if source in self.targets_of(source)
+        )
+
+    def restrict(self, sources=None, targets=None):
+        """Pairs whose endpoints survive the given node filters.
+
+        ``None`` means unconstrained; the result is a plain set of pairs
+        (callers wanting indexes wrap it in a new :class:`Relation`).
+        The smaller constrained side drives the scan through the hash
+        indexes, so a pinned endpoint (the membership path binds head
+        variables to single nodes) costs its partner count, not |R|.
+        """
+        if sources is None and targets is None:
+            return self.pairs
+        if sources is not None and (targets is None
+                                    or len(sources) <= len(targets)):
+            return {
+                (source, target)
+                for source in sources
+                for target in self.targets_of(source)
+                if targets is None or target in targets
+            }
+        return {
+            (source, target)
+            for target in targets
+            for source in self.sources_of(target)
+            if sources is None or source in sources
+        }
+
+    def __repr__(self):
+        return f"Relation({len(self.pairs)} pairs)"
+
+
+def atom_relation_index(graph, atom, semantics):
+    """The indexed :class:`Relation` of one atom under st / a-inj.
+
+    Cached per (graph version, relation kind, interned NFA) — the same
+    key family as the pair-relation cache underneath, so the indexes are
+    built once per atom relation, not once per evaluation.  This is the
+    default ``relation_for`` hook of the planner.
+    """
+    # Lazy import: the engine sits under the semantics layer (the same
+    # inversion-avoidance as engine/batch.py).
+    from repro.semantics.rpq import atom_relation_kind, relation_by_kind
+
+    kind = atom_relation_kind(atom, semantics)
+    if kind is None:
+        raise ValueError(
+            f"no pair relation exists under {semantics} (q-inj glue is a "
+            f"joint search, not a join)"
+        )
+    nfa = compiled_nfa(atom.language)
+    return graph_cached(
+        graph,
+        ("relation-index", kind, nfa),
+        lambda: Relation(relation_by_kind(graph, nfa, kind)),
+    )

@@ -11,31 +11,29 @@ from __future__ import annotations
 
 from collections import defaultdict
 
+from repro.engine.adjacency import adjacency_index
+
 
 def _initial_domains(cq, graph, assignment):
-    """Seed per-variable candidate domains from label adjacency."""
+    """Seed per-variable candidate domains from label adjacency.
+
+    The label partitions come from the graph's :class:`AdjacencyIndex`,
+    built once per graph version — the seed rescanned ``graph.edges``
+    (and ``edges_with_label`` per loop atom) on every call.
+    """
     nodes = graph.nodes
+    index = adjacency_index(graph)
     domains = {}
-    sources_by_label = defaultdict(set)
-    targets_by_label = defaultdict(set)
-    for edge in graph.edges:
-        sources_by_label[edge.label].add(edge.source)
-        targets_by_label[edge.label].add(edge.target)
     for variable in cq.variables:
         if variable in assignment:
-            domains[variable] = {assignment[variable]} & set(nodes)
+            domains[variable] = {assignment[variable]} & nodes
         else:
             domains[variable] = set(nodes)
     for atom in cq.atoms:
-        domains[atom.source] &= sources_by_label.get(atom.label, set())
-        domains[atom.target] &= targets_by_label.get(atom.label, set())
+        domains[atom.source] &= index.label_sources(atom.label)
+        domains[atom.target] &= index.label_targets(atom.label)
         if atom.source == atom.target:
-            loops = {
-                edge.source
-                for edge in graph.edges_with_label(atom.label)
-                if edge.source == edge.target
-            }
-            domains[atom.source] &= loops
+            domains[atom.source] &= index.label_loops(atom.label)
     return domains
 
 
@@ -81,12 +79,12 @@ def homomorphisms(cq, graph, target_tuple=None, injective=False,
 
     variables = sorted(cq.variables, key=repr)
     solution = {}
+    used_values = set()  # image of `solution`, maintained incrementally
+    # (the seed scanned solution.items() per injectivity probe)
 
     def consistent(variable, node):
-        if injective:
-            for other, value in solution.items():
-                if other != variable and value == node:
-                    return False
+        if injective and node in used_values:
+            return False
         for other in distinct.get(variable, ()):
             if solution.get(other) == node:
                 return False
@@ -116,8 +114,12 @@ def homomorphisms(cq, graph, target_tuple=None, injective=False,
             if not consistent(variable, node):
                 continue
             solution[variable] = node
+            if injective:
+                used_values.add(node)
             yield from search(rest)
             del solution[variable]
+            if injective:
+                used_values.discard(node)
 
     yield from search(variables)
 

@@ -7,7 +7,9 @@ equivalent union of ε-free queries).
 Algorithms:
 
 - standard: per-atom walk relations (product-automaton BFS, NL in data
-  complexity) glued by a homomorphism search (NP combined complexity);
+  complexity) glued by the join planner (:mod:`repro.engine.planner`):
+  GYO acyclicity test, Yannakakis semijoin pipeline for acyclic
+  disjuncts, semijoin-reduced variable elimination for cyclic ones;
 - atom-injective: per-atom *simple-path* relations (NP-hard already per
   atom, Prop 3.2) glued the same way — atoms need not be disjoint;
 - query-injective: a joint backtracking search, because node-disjointness
@@ -22,11 +24,8 @@ import itertools
 
 from repro.engine.adjacency import adjacency_index
 from repro.engine.cache import compiled_nfa, query_result
-from repro.graphdb.graph import GraphDatabase
+from repro.engine.planner import plan_eps_free
 from repro.graphdb.paths import simple_cycles_through, simple_paths
-from repro.homomorphism.matcher import homomorphisms
-from repro.queries.atoms import CQAtom
-from repro.queries.cq import CQ
 from repro.queries.crpq import union_of
 from repro.semantics.base import Semantics
 from repro.semantics.rpq import atom_relation_kind, relation_by_kind
@@ -113,11 +112,11 @@ def evaluate_eps_free(query, graph, semantics):
     )
 
 
-def eps_free_answers_uncached(query, graph, semantics, pairs_for=None):
+def eps_free_answers_uncached(query, graph, semantics, relation_for=None):
     """The uncached body of :func:`evaluate_eps_free`.
 
-    ``pairs_for(graph, atom, semantics)`` optionally overrides where the
-    st / a-inj relational encoding reads its atom pair relations — the
+    ``relation_for(graph, atom, semantics)`` optionally overrides where
+    the st / a-inj join planner reads its (indexed) atom relations — the
     batch executor passes its shared relation store here.
     """
     if semantics is Semantics.QUERY_INJECTIVE:
@@ -125,29 +124,22 @@ def eps_free_answers_uncached(query, graph, semantics, pairs_for=None):
             tuple(mu[v] for v in query.head)
             for mu in _qinj_solutions(query, graph)
         }
-    relation_graph, relation_cq = _relational_encoding(
-        query, graph, semantics, pairs_for=pairs_for
-    )
-    return {
-        tuple(hom[v] for v in query.head)
-        for hom in homomorphisms(relation_cq, relation_graph)
-    }
+    plan = plan_eps_free(query, graph, semantics, relation_for=relation_for)
+    return plan.answers()
 
 
 def _check_eps_free(query, graph, target_tuple, semantics):
+    binding = {}
+    for variable, node in zip(query.head, target_tuple):
+        if binding.get(variable, node) != node:
+            return False
+        binding[variable] = node
     if semantics is Semantics.QUERY_INJECTIVE:
-        initial = {}
-        for variable, node in zip(query.head, target_tuple):
-            if initial.get(variable, node) != node:
-                return False
-            initial[variable] = node
-        for _mu in _qinj_solutions(query, graph, initial_mu=initial):
+        for _mu in _qinj_solutions(query, graph, initial_mu=binding):
             return True
         return False
-    relation_graph, relation_cq = _relational_encoding(query, graph, semantics)
-    for _hom in homomorphisms(relation_cq, relation_graph, target_tuple=target_tuple):
-        return True
-    return False
+    plan = plan_eps_free(query, graph, semantics, binding=binding)
+    return plan.is_satisfiable()
 
 
 def atom_pairs(graph, atom, semantics):
@@ -157,25 +149,6 @@ def atom_pairs(graph, atom, semantics):
     return relation_by_kind(
         graph, atom.language, atom_relation_kind(atom, semantics)
     )
-
-
-def _relational_encoding(query, graph, semantics, pairs_for=None):
-    """Reduce st / a-inj evaluation to CQ matching over a relation graph.
-
-    Each atom ``x -[L]-> y`` becomes a fresh edge label ``("rel", i)`` whose
-    edge set is the atom's pair relation under the semantics
-    (:func:`atom_pairs`, or the ``pairs_for`` override).
-    """
-    pairs_for = pairs_for or atom_pairs
-    relation_graph = GraphDatabase(nodes=graph.nodes)
-    cq_atoms = []
-    for index, atom in enumerate(query.atoms):
-        label = ("rel", index)
-        for source, target in pairs_for(graph, atom, semantics):
-            relation_graph.add_edge(source, label, target)
-        cq_atoms.append(CQAtom(atom.source, label, atom.target))
-    relation_cq = CQ(query.head, cq_atoms, extra_variables=query.variables)
-    return relation_graph, relation_cq
 
 
 # ----------------------------------------------------------------------
