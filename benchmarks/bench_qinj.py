@@ -1,0 +1,102 @@
+"""q-inj guidance benchmark — relation-guided vs unguided joint search.
+
+Acceptance pin for the q-inj fast-path PR: on the E8 workload
+(rare-label chain CRPQs of lengths 2–4 over noise-dominated graphs,
+:mod:`repro.analysis.qinj_pruning`) the relation-guided evaluator must
+be ≥ 5× faster than the seed-era unguided joint backtracking search
+(:func:`repro.analysis.qinj_pruning.unguided_qinj_evaluate`, built
+around the reference ``_qinj_solutions`` kept in
+:mod:`repro.semantics.evaluation`).
+
+Engine caches are dropped before every evaluation so each call pays the
+full uncached cost; the rare-label languages are single symbols, so the
+standard pruning relations are trivial and the *joint search* dominates
+both sides — exactly the cost the guidance removes.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_qinj.py -q
+"""
+
+import time
+
+import pytest
+
+from repro.analysis.batching import drop_all_caches
+from repro.analysis.qinj_pruning import (
+    rare_backbone_graph,
+    rare_chain_workload,
+    unguided_qinj_evaluate,
+)
+from repro.semantics.evaluation import evaluate
+
+
+def _workload():
+    return rare_chain_workload(chain_lengths=(2, 3, 4))
+
+
+def _run_unguided(queries, graph):
+    results = []
+    for query in queries:
+        drop_all_caches(graph)
+        results.append(unguided_qinj_evaluate(query, graph))
+    return results
+
+
+def _run_guided(queries, graph):
+    results = []
+    for query in queries:
+        drop_all_caches(graph)
+        results.append(evaluate(query, graph, "q-inj"))
+    return results
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark timings
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("num_nodes", [60, 80], ids=lambda n: f"n={n}")
+def test_bench_guided_qinj(benchmark, num_nodes):
+    graph = rare_backbone_graph(num_nodes)
+    queries = _workload()
+    guided = benchmark(_run_guided, queries, graph)
+    assert guided == _run_unguided(queries, graph)
+
+
+@pytest.mark.parametrize("num_nodes", [60, 80], ids=lambda n: f"n={n}")
+def test_bench_unguided_qinj(benchmark, num_nodes):
+    graph = rare_backbone_graph(num_nodes)
+    queries = _workload()
+    benchmark(_run_unguided, queries, graph)
+
+
+# ----------------------------------------------------------------------
+# The acceptance ratio, asserted directly
+# ----------------------------------------------------------------------
+
+
+def _best_of(callable_, rounds=3):
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@pytest.mark.parametrize("num_nodes", [80, 110], ids=lambda n: f"n={n}")
+def test_guided_qinj_speedup_at_least_5x(num_nodes):
+    graph = rare_backbone_graph(num_nodes)
+    queries = _workload()
+    assert _run_guided(queries, graph) == _run_unguided(queries, graph)
+
+    unguided_time = _best_of(lambda: _run_unguided(queries, graph))
+    guided_time = _best_of(lambda: _run_guided(queries, graph))
+    ratio = unguided_time / guided_time
+    print(f"\nq-inj guidance n={num_nodes}: unguided {unguided_time:.4f}s, "
+          f"guided {guided_time:.4f}s, speedup {ratio:.1f}x")
+    assert ratio >= 5.0, (
+        f"guided q-inj only {ratio:.1f}x faster than the unguided joint "
+        f"search on the E8 rare-chain workload (n={num_nodes})"
+    )

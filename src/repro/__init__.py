@@ -10,9 +10,11 @@ Public API highlights:
   standard, atom-injective, and query-injective semantics (§2.1, §3);
 - :func:`repro.evaluate_batch` — batched multi-query evaluation that
   amortizes NFA compilation and atom-relation work across queries;
-- :func:`repro.explain_query` — the st / a-inj join plan (acyclic vs
-  cyclic per ε-free disjunct, join-tree shape, relation sizes) without
-  executing any glue;
+- :func:`repro.explain_query` — per ε-free disjunct, the st / a-inj
+  join plan (acyclic vs cyclic, join-tree shape, relation sizes) or the
+  q-inj relation-guided pruning plan (reduced candidate tables,
+  variable domains, atom search order), without executing any glue or
+  search;
 - :func:`repro.contains` — containment deciders for every cell of
   Figure 1 (§4–§6), with honest bounded verdicts on the undecidable cell;
 - :mod:`repro.reductions` — executable hardness reductions (PCP, GCP2,

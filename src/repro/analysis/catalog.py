@@ -35,6 +35,13 @@ def _social():
                                              seed=11)
 
 
+def _rare_backbone():
+    # Lazy import: qinj_pruning pulls in the evaluation stack.
+    from repro.analysis.qinj_pruning import rare_backbone_graph
+
+    return rare_backbone_graph(30, seed=11)
+
+
 CATALOG = (
     CatalogEntry(
         "paper-running-example",
@@ -99,6 +106,18 @@ CATALOG = (
         ),
         _social,
         "E7 workload / Wikidata-log shape [7]",
+    ),
+    CatalogEntry(
+        "rare-chain-3",
+        "length-3 chain over a rare backbone label in a noise-dominated "
+        "graph — the guided q-inj evaluator's acceptance workload (E8): "
+        "standard-relation pruning shrinks every variable domain to the "
+        "backbone before the joint injective search runs",
+        parse_query(
+            "Q(x0, x3) :- x0 -[r]-> x1, x1 -[r]-> x2, x2 -[r]-> x3"
+        ),
+        _rare_backbone,
+        "E8 workload",
     ),
 )
 

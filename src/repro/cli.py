@@ -234,9 +234,11 @@ def build_parser():
     )
     p_eval.add_argument(
         "--explain", action="store_true",
-        help="print the join plan per ε-free disjunct (acyclic vs cyclic, "
-             "join-tree shape, relation sizes) instead of executing "
-             "(st / a-inj; q-inj reports its joint search)",
+        help="print the plan per ε-free disjunct instead of executing: "
+             "the join plan under st / a-inj (acyclic vs cyclic, "
+             "join-tree shape, relation sizes), the relation-guided "
+             "pruning plan under q-inj (reduced candidate tables, "
+             "variable domains, atom search order)",
     )
     p_eval.set_defaults(func=cmd_evaluate)
 
@@ -260,8 +262,8 @@ def build_parser():
     p_batch.add_argument(
         "--explain", action="store_true",
         help="print the shared-work batch plan and every query's join "
-             "plan (warms atom relations for the size annotations, "
-             "executes no query)",
+             "plan (st / a-inj) or q-inj pruning plan (warms atom "
+             "relations for the size annotations, executes no query)",
     )
     p_batch.set_defaults(func=cmd_batch)
 

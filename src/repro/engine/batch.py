@@ -13,14 +13,16 @@ query cheap; this module adds the cross-query layer:
   computes each distinct atom relation once into a shared store, then
   evaluates every query against that store.
 
-For standard and atom-injective semantics the shared store holds the
-atom relations as hash-indexed :class:`~repro.engine.relations.Relation`
-tables ("standard" / "simple-path" / "simple-cycle-nonempty", the same
-kinds :mod:`repro.semantics.rpq` caches per graph version), which the
-join planner (:mod:`repro.engine.planner`) consumes directly through
-its ``relation_for`` hook; query-injective evaluation has no pair
-relation to share — its joint backtracking still amortizes NFA
-compilation and the per-(automaton, target) co-reachability sets.
+The shared store holds the atom relations as hash-indexed
+:class:`~repro.engine.relations.Relation` tables ("standard" /
+"simple-path" / "simple-cycle-nonempty", the same kinds
+:mod:`repro.semantics.rpq` caches per graph version).  Under st / a-inj
+the join planner (:mod:`repro.engine.planner`) consumes them directly
+through its ``relation_for`` hook; under q-inj the guided joint search
+(:mod:`repro.engine.qinj`) reads its *standard* pruning relations from
+the same store, so a q-inj batch dedupes and warms one walk relation
+per distinct atom language (and still amortizes NFA compilation and the
+per-(automaton, target) co-reachability sets).
 
 ``max_workers`` enables a thread pool for the independent units of
 work (one distinct atom relation, one query).  The per-unit code is
@@ -60,15 +62,19 @@ class AtomJob:
 def atom_job(atom, semantics):
     """The :class:`AtomJob` an atom contributes under ``semantics``.
 
-    Returns ``None`` for query-injective semantics: its joint search
-    consumes no precomputable pair relation.  The kind dispatch is
+    Query-injective atoms contribute a ``"standard"`` job: the guided
+    joint search (:mod:`repro.engine.qinj`) prunes with the standard
+    (walk) relations, so a q-inj batch dedupes and warms exactly those.
+    The st / a-inj kind dispatch is
     :func:`repro.semantics.rpq.atom_relation_kind` — the same table the
     per-query relational encoding uses, so batched and sequential
     evaluation can never disagree about which relation an atom needs.
     """
     from repro.semantics.rpq import atom_relation_kind
 
-    nfa = compiled_nfa(atom.language)  # dedupe/warm even under q-inj
+    nfa = compiled_nfa(atom.language)
+    if semantics is Semantics.QUERY_INJECTIVE:
+        return AtomJob(nfa, "standard")
     kind = atom_relation_kind(atom, semantics)
     return None if kind is None else AtomJob(nfa, kind)
 
@@ -82,7 +88,7 @@ class BatchPlan:
     num_disjuncts: int
     num_atoms: int
     num_distinct_languages: int
-    jobs: tuple  # distinct AtomJobs, first-seen order (empty for q-inj)
+    jobs: tuple  # distinct AtomJobs, first-seen order
 
     @property
     def num_shared_atoms(self):
@@ -264,10 +270,6 @@ class BatchExecutor:
     def _disjunct_answers(self, disjunct):
         from repro.semantics import evaluation
 
-        if self.semantics is Semantics.QUERY_INJECTIVE:
-            return evaluation.evaluate_eps_free(
-                disjunct, self.graph, self.semantics
-            )
         return query_result(
             self.graph,
             self.semantics,
@@ -293,22 +295,28 @@ class BatchExecutor:
         """Render the batch plan plus every disjunct's join plan without
         executing any glue (the CLI's ``batch --explain``).  Relations
         are warmed first — plan rendering reports their sizes."""
-        from repro.engine.planner import explain_query, plan_eps_free
+        from repro.engine.planner import plan_eps_free
+        from repro.engine.qinj import plan_qinj
 
         plan = self.warm(batch)
         lines = [f"batch plan: {plan} "
                  f"({plan.num_shared_atoms} atom occurrence(s) shared)"]
-        if self.semantics is Semantics.QUERY_INJECTIVE:
-            lines.append(explain_query((), self.graph, self.semantics))
-            return "\n".join(lines)
         for index, (query, disjuncts) in enumerate(batch.entries):
             lines.append("")
             lines.append(f"[{index + 1}] {query}")
             for disjunct in disjuncts:
-                join_plan = plan_eps_free(
-                    disjunct, self.graph, self.semantics,
-                    relation_for=self._stored_relation,
+                if self.semantics is Semantics.QUERY_INJECTIVE:
+                    disjunct_plan = plan_qinj(
+                        disjunct, self.graph,
+                        relation_for=self._stored_relation,
+                    )
+                else:
+                    disjunct_plan = plan_eps_free(
+                        disjunct, self.graph, self.semantics,
+                        relation_for=self._stored_relation,
+                    )
+                lines.extend(
+                    "  " + line
+                    for line in disjunct_plan.explain().splitlines()
                 )
-                lines.extend("  " + line
-                             for line in join_plan.explain().splitlines())
         return "\n".join(lines)

@@ -22,9 +22,10 @@ the glue is polynomial.  This module plans and executes that glue:
    existing backtracking matcher (:mod:`repro.homomorphism.matcher`) —
    run only on the *reduced* cyclic residue, never on the full input.
 
-Query-injective semantics never enters here: its node-disjointness
-couples the atoms, so it keeps the joint backtracking search of
-:mod:`repro.semantics.evaluation`.
+Query-injective semantics does not join here: its node-disjointness
+couples the atoms.  It instead runs the relation-guided joint search of
+:mod:`repro.engine.qinj`, which borrows this module's semijoin reducer
+to shrink the candidate space before backtracking.
 """
 
 from __future__ import annotations
@@ -49,6 +50,44 @@ ELIMINATION_ROW_CAP = 200_000
 
 class EliminationOverflow(Exception):
     """Internal signal: a variable-elimination join outgrew the cap."""
+
+
+# ----------------------------------------------------------------------
+# Semijoin reduction (shared with the q-inj pruning plan)
+# ----------------------------------------------------------------------
+
+
+def semijoin_reduce(tables):
+    """Arc-consistent fixpoint: every table keeps only rows whose
+    values survive in *every* other table mentioning the variable.
+    Returns the reduced tables, or ``None`` when one empties.
+
+    Shared by the cyclic-component pipeline here and by the q-inj
+    pruning plan (:mod:`repro.engine.qinj`), which reduces the standard
+    over-approximation tables before its guided joint search.
+    """
+    changed = True
+    while changed:
+        changed = False
+        domains = {}
+        for table in tables:
+            for variable in table.variables:
+                column = table.column(variable)
+                if variable in domains:
+                    domains[variable] &= column
+                else:
+                    domains[variable] = column
+        for position, table in enumerate(tables):
+            filtered = table
+            for variable in table.variables:
+                filtered = filter_rows(filtered, variable,
+                                       domains[variable])
+            if len(filtered) != len(table):
+                tables[position] = filtered
+                changed = True
+            if filtered.is_empty():
+                return None
+    return tables
 
 
 # ----------------------------------------------------------------------
@@ -342,7 +381,7 @@ class JoinPlan:
         return results[component.root]
 
     def _eliminate_cyclic(self, component, tables, exists_only=False):
-        reduced = self._semijoin_reduce(list(tables.values()))
+        reduced = semijoin_reduce(list(tables.values()))
         if reduced is None:
             return TupleRelation(component.out_vars, ())
         out_vars = () if exists_only else component.out_vars
@@ -352,34 +391,6 @@ class JoinPlan:
         except EliminationOverflow:
             return self._matcher_fallback(component, reduced, out_vars,
                                           exists_only=exists_only)
-
-    @staticmethod
-    def _semijoin_reduce(tables):
-        """Arc-consistent fixpoint: every table keeps only rows whose
-        values survive in *every* other table mentioning the variable.
-        Returns the reduced tables, or ``None`` when one empties."""
-        changed = True
-        while changed:
-            changed = False
-            domains = {}
-            for table in tables:
-                for variable in table.variables:
-                    column = table.column(variable)
-                    if variable in domains:
-                        domains[variable] &= column
-                    else:
-                        domains[variable] = column
-            for position, table in enumerate(tables):
-                filtered = table
-                for variable in table.variables:
-                    filtered = filter_rows(filtered, variable,
-                                           domains[variable])
-                if len(filtered) != len(table):
-                    tables[position] = filtered
-                    changed = True
-                if filtered.is_empty():
-                    return None
-        return tables
 
     def _variable_elimination(self, component, tables, out_vars):
         eliminate = list(component.elimination_order)
@@ -544,18 +555,26 @@ def plan_eps_free(query, graph, semantics, relation_for=None, binding=None):
 def explain_query(query, graph, semantics, relation_for=None):
     """Render the plans of every ε-free disjunct of ``query`` — the
     engine of the CLI's ``--explain`` (computes atom relations for the
-    size annotations but never executes any glue)."""
+    size annotations but never executes any glue or search).
+
+    Under st / a-inj the sections are :class:`JoinPlan` renderings;
+    under q-inj they are the relation-guided pruning plans of
+    :mod:`repro.engine.qinj` (reduced candidate tables, variable
+    domains, atom search order)."""
     from repro.queries.crpq import union_of
     from repro.semantics.base import Semantics
 
     semantics = Semantics.coerce(semantics)
-    if semantics is Semantics.QUERY_INJECTIVE:
-        return ("q-inj semantics: joint backtracking search "
-                "(node-disjointness couples the atoms — no join plan)")
     sections = []
     for disjunct in union_of(query):
         for eps_free in disjunct.epsilon_free_union():
-            plan = plan_eps_free(eps_free, graph, semantics,
-                                 relation_for=relation_for)
+            if semantics is Semantics.QUERY_INJECTIVE:
+                # Lazy import: qinj reuses this module's semijoin_reduce.
+                from repro.engine.qinj import plan_qinj
+
+                plan = plan_qinj(eps_free, graph, relation_for=relation_for)
+            else:
+                plan = plan_eps_free(eps_free, graph, semantics,
+                                     relation_for=relation_for)
             sections.append(plan.explain())
     return "\n\n".join(sections)

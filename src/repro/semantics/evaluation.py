@@ -12,10 +12,16 @@ Algorithms:
   disjuncts, semijoin-reduced variable elimination for cyclic ones;
 - atom-injective: per-atom *simple-path* relations (NP-hard already per
   atom, Prop 3.2) glued the same way — atoms need not be disjoint;
-- query-injective: a joint backtracking search, because node-disjointness
-  couples the atoms: injective variable assignment + simple paths whose
-  internal nodes avoid every other chosen node (Prop 2.2's injective
-  expansion homomorphism, run directly on the database).
+- query-injective: a *relation-guided* joint backtracking search
+  (:mod:`repro.engine.qinj`), because node-disjointness couples the
+  atoms: the standard atom relations over-approximate the endpoint
+  candidates, a semijoin reduction shrinks them to the arc-consistent
+  fixpoint, and only surviving bindings feed the injective search
+  (Prop 2.2's injective expansion homomorphism, run directly on the
+  database) with per-endpoint-pair memoized path witnesses.
+
+The unguided joint search (:func:`_qinj_solutions`) is kept verbatim as
+the differential-test and benchmark reference.
 """
 
 from __future__ import annotations
@@ -25,6 +31,7 @@ import itertools
 from repro.engine.adjacency import adjacency_index
 from repro.engine.cache import compiled_nfa, query_result
 from repro.engine.planner import plan_eps_free
+from repro.engine.qinj import plan_qinj
 from repro.graphdb.paths import simple_cycles_through, simple_paths
 from repro.queries.crpq import union_of
 from repro.semantics.base import Semantics
@@ -116,14 +123,14 @@ def eps_free_answers_uncached(query, graph, semantics, relation_for=None):
     """The uncached body of :func:`evaluate_eps_free`.
 
     ``relation_for(graph, atom, semantics)`` optionally overrides where
-    the st / a-inj join planner reads its (indexed) atom relations — the
-    batch executor passes its shared relation store here.
+    the planners read their (indexed) atom relations — the batch
+    executor passes its shared relation store here.  Under st / a-inj
+    these are the glue's base tables; under q-inj they are the standard
+    relations the guided search prunes with.
     """
     if semantics is Semantics.QUERY_INJECTIVE:
-        return {
-            tuple(mu[v] for v in query.head)
-            for mu in _qinj_solutions(query, graph)
-        }
+        plan = plan_qinj(query, graph, relation_for=relation_for)
+        return plan.answers()
     plan = plan_eps_free(query, graph, semantics, relation_for=relation_for)
     return plan.answers()
 
@@ -135,9 +142,8 @@ def _check_eps_free(query, graph, target_tuple, semantics):
             return False
         binding[variable] = node
     if semantics is Semantics.QUERY_INJECTIVE:
-        for _mu in _qinj_solutions(query, graph, initial_mu=binding):
-            return True
-        return False
+        plan = plan_qinj(query, graph, binding=binding)
+        return plan.is_satisfiable()
     plan = plan_eps_free(query, graph, semantics, binding=binding)
     return plan.is_satisfiable()
 
@@ -152,7 +158,7 @@ def atom_pairs(graph, atom, semantics):
 
 
 # ----------------------------------------------------------------------
-# Query-injective evaluation: joint backtracking
+# Query-injective evaluation: the unguided joint backtracking reference
 # ----------------------------------------------------------------------
 
 
@@ -163,6 +169,12 @@ def _qinj_solutions(query, graph, initial_mu=None):
 
     This is exactly an injective homomorphism from some expansion of Q
     (Prop 2.2), searched directly on the database.
+
+    The serving path no longer calls this: :mod:`repro.engine.qinj`
+    runs the same search over relation-pruned candidate domains.  This
+    unguided version is kept verbatim as the reference that
+    ``tests/test_qinj_guided_differential.py`` and
+    ``benchmarks/bench_qinj.py`` compare against.
     """
     mu = dict(initial_mu or {})
     values = list(mu.values())

@@ -122,9 +122,40 @@ def test_plan_dedups_structurally():
     assert "simple-path" in kinds and "simple-cycle-nonempty" in kinds
 
     qinj_plan = BatchExecutor(graph, "q-inj").plan(batch)
-    assert qinj_plan.jobs == ()  # no pair relations to precompute
+    # The guided q-inj search prunes with standard (walk) relations, so
+    # a q-inj batch warms one standard job per distinct atom language.
+    assert qinj_plan.jobs != ()
+    assert all(job.kind == "standard" for job in qinj_plan.jobs)
+    assert len(qinj_plan.jobs) == qinj_plan.num_distinct_languages
     assert qinj_plan.num_distinct_languages > 0
-    assert "distinct atom relations" not in str(qinj_plan)
+    assert "distinct atom relations" in str(qinj_plan)
+
+
+def test_qinj_batch_warms_shared_pruning_relations():
+    """Regression: q-inj batches used to carry an empty job list and
+    silently degrade to sequential per-query evaluation — no shared
+    relation warm-up, inconsistent NFA interning.  The guided evaluator
+    prunes with standard relations, so a q-inj batch must dedupe atom
+    languages into standard jobs, warm each exactly once into the
+    executor store, and serve every query from it."""
+    graph = uniform_random(7, 16, {"a", "b"}, seed=9)
+    queries = [
+        parse_query("Q(x, y) :- x -[(ab)*]-> y"),
+        parse_query("Q(u, v) :- u -[(ab)*]-> v, v -[a]-> u"),
+        parse_query("Q() :- x -[(ab)*]-> y, y -[a]-> z"),
+    ]
+    executor = BatchExecutor(graph, "q-inj")
+    batch = QueryBatch(queries)
+    plan = executor.warm(batch)
+    assert plan.jobs and all(job.kind == "standard" for job in plan.jobs)
+    # (ab)* occurs three times (plus the (ab)+ ε-elimination variants)
+    # but each distinct language warms exactly one store entry.
+    assert plan.num_shared_atoms > 0
+    assert set(executor._relations) == set(plan.jobs)
+    assert len(plan.jobs) == plan.num_distinct_languages
+    got = [answers for _i, _q, answers in executor.results(batch,
+                                                           warmed=True)]
+    assert got == _sequential_reference(queries, graph, "q-inj")
 
 
 def test_atom_job_interning():
@@ -134,7 +165,8 @@ def test_atom_job_interning():
     job2 = atom_job(q2.atoms[0], Semantics.STANDARD)
     assert isinstance(job1, AtomJob)
     assert job1 == job2 and job1.nfa is job2.nfa
-    assert atom_job(q1.atoms[0], Semantics.QUERY_INJECTIVE) is None
+    qinj_job = atom_job(q1.atoms[0], Semantics.QUERY_INJECTIVE)
+    assert qinj_job == AtomJob(job1.nfa, "standard")  # the pruning relation
 
 
 def test_executor_tracks_graph_mutation():

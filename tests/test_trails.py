@@ -167,3 +167,31 @@ class TestTrailHierarchy:
         q = parse_query("Q() :- x -[a]-> y, x -[a]-> y")
         assert evaluate(q, g, "q-inj") == {()}
         assert evaluate_trails(q, g, "query-trail") == frozenset()
+
+    def test_parallel_atom_divergence_distinct_languages(self):
+        """The failure needs only parallel *endpoints*, not duplicate
+        atoms: distinct languages both matched by the single edge
+        diverge the same way — and the non-Boolean head pins exactly
+        which tuple q-inj produces and query-trail refuses.  (This is
+        the regression guard for the divergence the trails module
+        docstring documents; it must survive the relation-guided q-inj
+        evaluator, whose pruning keeps parallel atoms as two separate
+        candidate tables over one edge.)"""
+        g = GraphDatabase(edges=[("u", "a", "v")])
+        q = parse_query("Q(x, y) :- x -[a]-> y, x -[(a+b)]-> y")
+        assert evaluate(q, g, "q-inj") == {("u", "v")}
+        assert evaluate_trails(q, g, "query-trail") == frozenset()
+        from repro.semantics.evaluation import in_evaluation
+
+        assert in_evaluation(q, g, ("u", "v"), "q-inj")
+
+    def test_no_divergence_once_a_second_edge_exists(self):
+        """Sanity inverse: give the graph a second parallel a-edge via
+        an intermediate node and query-trail admits the tuple too — the
+        divergence is exactly about *sharing* one edge."""
+        g = GraphDatabase(edges=[
+            ("u", "a", "v"), ("u", "b", "m"), ("m", "a", "v"),
+        ])
+        q = parse_query("Q(x, y) :- x -[a]-> y, x -[(a+ba)]-> y")
+        assert ("u", "v") in evaluate(q, g, "q-inj")
+        assert ("u", "v") in evaluate_trails(q, g, "query-trail")
