@@ -1,0 +1,102 @@
+"""Incremental maintenance benchmark — delta engine vs invalidate-and-recompute.
+
+Acceptance pin for the incremental-maintenance PR: on the E9 dynamic
+workload (rare-label chain queries served over a noise-dominated graph
+while a stream of small update batches lands between evaluations,
+:mod:`repro.analysis.incremental`) the store-attached graph must be
+≥ 5× faster than the plain engine, whose version-keyed caches discard
+*all* derived work on every mutation.
+
+Both modes run the identical update/query stream through the identical
+``evaluate`` entry point — the only difference is the attached
+:class:`repro.engine.incremental.IncrementalRelationStore`, which grows
+/ repairs the standard relations from the graph's change-log and reuses
+query results whose maintained base tables did not move.  Identical
+answer sequences are asserted before any timing.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_incremental.py -q
+"""
+
+import time
+
+import pytest
+
+from repro.analysis.incremental import dynamic_update_stream, run_dynamic_stream
+from repro.analysis.qinj_pruning import rare_backbone_graph, rare_chain_workload
+from repro.engine.incremental import IncrementalRelationStore
+from repro.semantics.evaluation import evaluate
+
+NUM_NODES = 150
+NUM_STEPS = 20
+
+
+def _setup(delta_size, seed=7):
+    base = rare_backbone_graph(NUM_NODES, seed=seed)
+    queries = rare_chain_workload((2, 3))
+    stream = dynamic_update_stream(base, NUM_STEPS, delta_size,
+                                   seed=seed + delta_size)
+    return base, queries, stream
+
+
+def _serve(base, queries, stream, incremental):
+    """One full pass: fresh graph copy, warm evaluation, then the
+    update/query stream.  Returns the answer sequence."""
+    graph = base.copy()
+    if incremental:
+        IncrementalRelationStore(graph)
+    for query in queries:
+        evaluate(query, graph, "st")
+    return run_dynamic_stream(graph, stream, queries)
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark timings
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("delta_size", [1, 4], ids=lambda d: f"delta={d}")
+def test_bench_incremental_stream(benchmark, delta_size):
+    base, queries, stream = _setup(delta_size)
+    answers = benchmark(_serve, base, queries, stream, True)
+    assert answers == _serve(base, queries, stream, False)
+
+
+@pytest.mark.parametrize("delta_size", [1, 4], ids=lambda d: f"delta={d}")
+def test_bench_recompute_stream(benchmark, delta_size):
+    base, queries, stream = _setup(delta_size)
+    benchmark(_serve, base, queries, stream, False)
+
+
+# ----------------------------------------------------------------------
+# The acceptance ratio, asserted directly
+# ----------------------------------------------------------------------
+
+
+def _best_of(callable_, rounds=3):
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@pytest.mark.parametrize("delta_size", [1, 2], ids=lambda d: f"delta={d}")
+def test_incremental_speedup_at_least_5x(delta_size):
+    base, queries, stream = _setup(delta_size)
+    assert (_serve(base, queries, stream, True)
+            == _serve(base, queries, stream, False))
+
+    recompute_time = _best_of(
+        lambda: _serve(base, queries, stream, False))
+    incremental_time = _best_of(
+        lambda: _serve(base, queries, stream, True))
+    ratio = recompute_time / incremental_time
+    print(f"\nincremental Δ={delta_size}: recompute {recompute_time:.4f}s, "
+          f"incremental {incremental_time:.4f}s, speedup {ratio:.1f}x")
+    assert ratio >= 5.0, (
+        f"incremental maintenance only {ratio:.1f}x faster than "
+        f"invalidate-and-recompute on the Δ={delta_size} update stream"
+    )

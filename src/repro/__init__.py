@@ -10,6 +10,12 @@ Public API highlights:
   standard, atom-injective, and query-injective semantics (§2.1, §3);
 - :func:`repro.evaluate_batch` — batched multi-query evaluation that
   amortizes NFA compilation and atom-relation work across queries;
+- :func:`repro.incremental_store` /
+  :class:`repro.IncrementalRelationStore` — incremental view
+  maintenance for dynamic graphs: standard atom relations are grown /
+  repaired from the graph's change-log (including deletions via
+  :meth:`GraphDatabase.remove_edge` / ``remove_node``) instead of
+  rebuilt per mutation;
 - :func:`repro.explain_query` — per ε-free disjunct, the st / a-inj
   join plan (acyclic vs cyclic, join-tree shape, relation sizes) or the
   q-inj relation-guided pruning plan (reduced candidate tables,
@@ -29,8 +35,9 @@ from repro.errors import (
     ReproError,
     SearchBudgetExceeded,
 )
+from repro.engine.incremental import IncrementalRelationStore, incremental_store
 from repro.engine.planner import explain_query
-from repro.graphdb import GraphDatabase
+from repro.graphdb import GraphDatabase, GraphDelta
 from repro.queries import CQ, CRPQ, Atom, CQAtom, parse_query, union_of
 from repro.regular import NFA, parse_regex
 from repro.semantics import Semantics, evaluate, evaluate_batch, in_evaluation
@@ -39,6 +46,9 @@ __version__ = "1.0.0"
 
 __all__ = [
     "GraphDatabase",
+    "GraphDelta",
+    "IncrementalRelationStore",
+    "incremental_store",
     "CQ",
     "CRPQ",
     "Atom",

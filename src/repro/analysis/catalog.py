@@ -108,6 +108,18 @@ CATALOG = (
         "E7 workload / Wikidata-log shape [7]",
     ),
     CatalogEntry(
+        "dynamic-rare-chain-2",
+        "length-2 rare-backbone chain served across a stream of small "
+        "update batches — the incremental maintenance engine's "
+        "acceptance workload (E9): the attached relation store grows / "
+        "repairs the standard relations from the graph's change-log "
+        "and reuses results whose maintained base tables did not move, "
+        "instead of discarding every cache per mutation",
+        parse_query("Q(x0, x2) :- x0 -[r]-> x1, x1 -[r]-> x2"),
+        _rare_backbone,
+        "E9 workload",
+    ),
+    CatalogEntry(
         "rare-chain-3",
         "length-3 chain over a rare backbone label in a noise-dominated "
         "graph — the guided q-inj evaluator's acceptance workload (E8): "

@@ -1,0 +1,181 @@
+"""Dynamic-graph maintenance experiment (E9): incremental vs recompute.
+
+Every earlier experiment treats the graph as frozen; real knowledge-graph
+workloads are *streams* of small updates interleaved with queries, and
+before the incremental engine each update invalidated every version-keyed
+cache — one inserted noise edge forced a full product sweep per atom
+language on the next query.  E9 measures what
+:class:`repro.engine.incremental.IncrementalRelationStore` buys on that
+shape: a rare-label chain workload (the E8 graphs, where the queried
+backbone is a tiny fraction of the edge set) served while batches of
+``delta_size`` updates (noise-dominated inserts and deletes, with an
+occasional backbone edge) land between evaluations.
+
+Modes:
+
+- **recompute** — the plain engine: every update bumps the graph version
+  and the next evaluation rebuilds adjacency, atom relations, and query
+  results from scratch (the pre-incremental cost profile);
+- **incremental** — the same graph with an attached store: standard
+  relations are grown by semi-naive frontier expansion (inserts) or
+  repaired in their dirty region (small deletion deltas) from the
+  graph's change-log, so updates that cannot affect a relation cost
+  almost nothing.
+
+Both modes run the *same* evaluation entry point over the *same* update
+stream; only the attached store differs, and identical answer sequences
+are asserted.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+
+from repro.analysis.qinj_pruning import (
+    RARE_LABEL,
+    rare_backbone_graph,
+    rare_chain_workload,
+)
+from repro.engine.incremental import IncrementalRelationStore
+from repro.graphdb.graph import Edge
+from repro.semantics.base import Semantics
+from repro.semantics.evaluation import evaluate
+
+
+@dataclass
+class DynamicRow:
+    """One measurement: update granularity, serving mode, time, answers."""
+
+    family: str
+    mode: str  # "recompute" | "incremental"
+    delta_size: int
+    num_steps: int
+    seconds: float
+    answers: int
+
+    @property
+    def steps_per_second(self):
+        return self.num_steps / self.seconds if self.seconds > 0 else float("inf")
+
+    def __str__(self):
+        return (f"{self.family:<12} {self.mode:<12} Δ={self.delta_size:<3} "
+                f"{self.num_steps:>3} steps  {self.seconds:>9.4f}s  "
+                f"{self.steps_per_second:>7.1f} steps/s  "
+                f"{self.answers:>6} answers")
+
+
+def dynamic_update_stream(graph, num_steps, delta_size, seed=11,
+                          remove_fraction=0.3, rare_fraction=0.1):
+    """A deterministic stream of update batches for ``graph``.
+
+    Each of the ``num_steps`` batches holds ``delta_size`` operations:
+    mostly noise-edge inserts, ``remove_fraction`` deletions of
+    currently-present edges, and ``rare_fraction`` of the inserts on the
+    queried :data:`RARE_LABEL` backbone so maintenance does real
+    propagation work too.  The stream is generated against a simulation
+    of the evolving edge set, so it can be replayed verbatim against any
+    graph instance equal to ``graph``.
+    """
+    rng = random.Random(seed)
+    nodes = sorted(graph.nodes, key=repr)
+    present = set(graph.edges)
+    stream = []
+    for _ in range(num_steps):
+        batch = []
+        for _ in range(delta_size):
+            if present and rng.random() < remove_fraction:
+                edge = rng.choice(sorted(present, key=repr))
+                present.discard(edge)
+                batch.append(("remove", edge.source, edge.label, edge.target))
+                continue
+            label = (RARE_LABEL if rng.random() < rare_fraction
+                     else rng.choice("ab"))
+            while True:
+                edge = Edge(rng.choice(nodes), label, rng.choice(nodes))
+                if edge not in present:
+                    break
+            present.add(edge)
+            batch.append(("add", edge.source, edge.label, edge.target))
+        stream.append(batch)
+    return stream
+
+
+def apply_update_batch(graph, batch):
+    """Apply one batch of ``("add" | "remove", source, label, target)``."""
+    for op, source, label, target in batch:
+        if op == "add":
+            graph.add_edge(source, label, target)
+        else:
+            graph.remove_edge(source, label, target)
+
+
+def run_dynamic_stream(graph, stream, queries, semantics=Semantics.STANDARD):
+    """Serve the update/query interleaving: apply each batch, then
+    evaluate every query.  Returns the full answer sequence (one
+    frozenset per (step, query), in order)."""
+    results = []
+    for batch in stream:
+        apply_update_batch(graph, batch)
+        for query in queries:
+            results.append(evaluate(query, graph, semantics))
+    return results
+
+
+def run_incremental_dynamics(delta_sizes=(1, 4, 16), num_steps=12,
+                             num_nodes=80, chain_lengths=(2, 3), seed=11):
+    """Run the E9 sweep; two rows (recompute then incremental) per delta
+    size, with identical answer sequences asserted."""
+    queries = rare_chain_workload(chain_lengths)
+    rows = []
+    for delta_size in delta_sizes:
+        base = rare_backbone_graph(num_nodes, seed=seed)
+        stream = dynamic_update_stream(base, num_steps, delta_size,
+                                       seed=seed + delta_size)
+        family = f"rare-chain"
+
+        plain = base.copy()
+        for query in queries:  # warm both modes identically
+            evaluate(query, plain, Semantics.STANDARD)
+        start = time.perf_counter()
+        recompute_results = run_dynamic_stream(plain, stream, queries)
+        recompute_seconds = time.perf_counter() - start
+
+        maintained = base.copy()
+        IncrementalRelationStore(maintained)
+        for query in queries:
+            evaluate(query, maintained, Semantics.STANDARD)
+        start = time.perf_counter()
+        incremental_results = run_dynamic_stream(maintained, stream, queries)
+        incremental_seconds = time.perf_counter() - start
+
+        if recompute_results != incremental_results:
+            raise AssertionError(
+                f"incremental/recompute divergence at Δ={delta_size}"
+            )
+        answers = sum(len(result) for result in incremental_results)
+        rows.append(DynamicRow(family, "recompute", delta_size, num_steps,
+                               recompute_seconds, answers))
+        rows.append(DynamicRow(family, "incremental", delta_size, num_steps,
+                               incremental_seconds, answers))
+    return rows
+
+
+def incremental_report_text(rows):
+    """Render rows plus the per-delta-size incremental speedup."""
+    lines = ["family       mode         Δ    steps    seconds   steps/s  answers",
+             "-" * 68]
+    lines.extend(str(row) for row in rows)
+    lines.append("")
+    by_key = {(row.delta_size, row.mode): row.seconds for row in rows}
+    for delta_size in sorted({row.delta_size for row in rows}):
+        recompute = by_key.get((delta_size, "recompute"))
+        incremental = by_key.get((delta_size, "incremental"))
+        if recompute and incremental and incremental > 0:
+            lines.append(
+                f"Δ={delta_size}: incremental speedup = "
+                f"{recompute / incremental:.1f}× over invalidate-and-"
+                f"recompute"
+            )
+    return "\n".join(lines)

@@ -5,6 +5,9 @@ Commands:
 - ``evaluate``  — evaluate a query over a graph file under a semantics;
 - ``batch``     — evaluate many queries (one per line) over one graph,
   sharing compilation and atom-relation work across the batch;
+- ``update``    — apply a mutation script (add/remove lines) to a graph
+  and re-evaluate a query, with atom relations *maintained*
+  incrementally across the updates instead of rebuilt;
 - ``contains``  — decide containment between two queries;
 - ``figure1``   — print the Figure 1 complexity table (optionally with the
   empirical agreement matrix);
@@ -150,6 +153,109 @@ def cmd_batch(args):
     return 0
 
 
+def load_mutations(path):
+    """Parse a mutation script into ``(line_number, op, payload)`` tuples.
+
+    Line forms (``#`` comments and blank lines allowed):
+
+    - ``add <source> <label> <target>``   — add an edge;
+    - ``add <node>``                      — add an isolated node;
+    - ``remove <source> <label> <target>``— remove an edge;
+    - ``remove <node>``                   — remove an isolated node;
+    - ``remove <node> cascade``           — remove a node and its edges;
+    - ``eval``                            — re-evaluate the query here.
+
+    Malformed lines report the 1-based line number and the offending
+    text, like :func:`load_graph`.
+    """
+    operations = []
+    with open(path) as handle:
+        for line_number, line in enumerate(handle, start=1):
+            text = line.split("#", 1)[0].strip()
+            if not text:
+                continue
+            parts = text.split()
+            op, operands = parts[0].lower(), parts[1:]
+            if op == "add" and len(operands) == 3:
+                operations.append((line_number, "add-edge", tuple(operands)))
+            elif op == "add" and len(operands) == 1:
+                operations.append((line_number, "add-node", operands[0]))
+            elif op == "remove" and len(operands) == 3:
+                operations.append((line_number, "remove-edge",
+                                   tuple(operands)))
+            elif op == "remove" and len(operands) == 1:
+                operations.append((line_number, "remove-node",
+                                   (operands[0], False)))
+            elif (op == "remove" and len(operands) == 2
+                  and operands[1] == "cascade"):
+                operations.append((line_number, "remove-node",
+                                   (operands[0], True)))
+            elif op == "eval" and not operands:
+                operations.append((line_number, "eval", None))
+            else:
+                raise ValueError(
+                    f"{path}:{line_number}: expected 'add s l t', "
+                    f"'add n', 'remove s l t', 'remove n [cascade]' or "
+                    f"'eval', got {text!r}"
+                )
+    return operations
+
+
+def cmd_update(args):
+    from repro.engine.incremental import IncrementalRelationStore
+
+    graph = load_graph(args.graph)
+    query = parse_query(args.query)
+    semantics = _semantics_argument(args.semantics)
+    if isinstance(semantics, TrailSemantics):
+        raise ValueError(
+            "update mode supports st | a-inj | q-inj (trail semantics "
+            "have no incremental store)"
+        )
+    operations = load_mutations(args.mutations)
+    store = IncrementalRelationStore(graph)
+
+    def serve(stage):
+        answers = evaluate(query, graph, semantics)
+        print(f"# [{stage}] graph: {graph}")
+        _print_answers(answers)
+        if args.explain:
+            for line in store.explain_text().splitlines():
+                print(f"#   {line}")
+            store.clear_decisions()
+
+    print(f"# {query}")
+    print(f"# semantics: {semantics}")
+    serve("initial")
+    applied = 0
+    for line_number, op, payload in operations:
+        if op == "eval":
+            # Outside the try: an evaluation failure is an engine/query
+            # problem, not a mutation-script error at this line.
+            serve(f"after {applied} update(s)")
+            continue
+        try:
+            if op == "add-edge":
+                graph.add_edge(*payload)
+            elif op == "add-node":
+                graph.add_node(payload)
+            elif op == "remove-edge":
+                graph.remove_edge(*payload)
+            else:  # remove-node
+                node, cascade = payload
+                graph.remove_node(node, cascade=cascade)
+        except (KeyError, ValueError) as error:
+            # KeyError renders its message repr-quoted; unwrap it.
+            message = error.args[0] if error.args else error
+            raise ValueError(
+                f"{args.mutations}:{line_number}: {message}"
+            ) from error
+        applied += 1
+    if not operations or operations[-1][1] != "eval":
+        serve("final")
+    return 0
+
+
 def cmd_contains(args):
     q1 = parse_query(args.left)
     q2 = parse_query(args.right)
@@ -266,6 +372,29 @@ def build_parser():
              "relations for the size annotations, executes no query)",
     )
     p_batch.set_defaults(func=cmd_batch)
+
+    p_upd = sub.add_parser(
+        "update",
+        help="apply a mutation script to a graph and re-evaluate a "
+             "query, maintaining atom relations incrementally",
+    )
+    p_upd.add_argument("graph", help="edge-list file: 'source label target'")
+    p_upd.add_argument(
+        "mutations",
+        help="mutation script: 'add s l t' | 'add n' | 'remove s l t' | "
+             "'remove n [cascade]' | 'eval' ('#' comments allowed)",
+    )
+    p_upd.add_argument("query", help='e.g. "Q(x,y) :- x -[(ab)*]-> y"')
+    p_upd.add_argument(
+        "--semantics", default="st", help="st | a-inj | q-inj",
+    )
+    p_upd.add_argument(
+        "--explain", action="store_true",
+        help="after each evaluation, report the incremental store's "
+             "per-relation decisions (built / maintained across the "
+             "delta / rebuilt, with the reason)",
+    )
+    p_upd.set_defaults(func=cmd_update)
 
     p_cont = sub.add_parser("contains", help="decide Q1 ⊆ Q2")
     p_cont.add_argument("left")

@@ -221,10 +221,18 @@ class BatchExecutor:
         # Routed through semantics.rpq so the graph-scoped atom_relation
         # cache is populated too (lazy import: engine sits under
         # semantics).  The store holds hash-indexed Relations — the form
-        # the join planner consumes — not raw pair sets.
+        # the join planner consumes — not raw pair sets.  A graph with
+        # an attached incremental store shares its *maintained* indexed
+        # relation for standard-kind jobs (same object, no re-indexing);
+        # other kinds still flow through relation_by_kind, whose
+        # standard-pair pruning is itself store-served via atom_relation.
         from repro.engine.relations import Relation
         from repro.semantics.rpq import relation_by_kind
 
+        if job.kind == "standard":
+            incremental = getattr(self.graph, "_incremental_store", None)
+            if incremental is not None:
+                return incremental.standard_relation(job.nfa)
         return Relation(relation_by_kind(self.graph, job.nfa, job.kind))
 
     # ------------------------------------------------------------------

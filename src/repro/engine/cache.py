@@ -184,7 +184,18 @@ def atom_relation(graph, language, kind, compute):
     "simple-path", ...); ``compute`` is a thunk producing the relation
     when the cache misses.  The cached value is frozen so a shared
     result can never be corrupted by one caller.
+
+    When an :class:`~repro.engine.incremental.IncrementalRelationStore`
+    is attached to the graph, ``standard`` misses are served from its
+    *maintained* pair sets (grown/repaired across versions via the
+    graph's change-log) instead of recomputing from scratch; the result
+    is cached here per version like any rebuilt relation, so downstream
+    consumers cannot tell the difference.
     """
+    if kind == "standard":
+        store = getattr(graph, "_incremental_store", None)
+        if store is not None:
+            compute = lambda: store.standard_pairs(language)  # noqa: E731
     return _get_or_compute(graph, (kind, _language_key(language)), compute)
 
 
@@ -196,7 +207,18 @@ def query_result(graph, semantics, query, compute):
     query against an unchanged graph is a dictionary lookup.  This is
     the layer that makes repeated query serving cheap; the atom-relation
     cache below it makes *distinct* queries sharing atom languages cheap.
+
+    With an incremental store attached, a version-cache miss first asks
+    the store for a *reusable* result: when every base table of the
+    disjunct is a maintained relation whose identity (and the node set)
+    has not moved since the last evaluation, the stored answers are
+    returned without re-planning (sound for st / a-inj, which are pure
+    functions of their tables; q-inj always recomputes).
     """
+    store = getattr(graph, "_incremental_store", None)
+    if store is not None:
+        inner = compute
+        compute = lambda: store.query_result(semantics, query, inner)  # noqa: E731
     return _get_or_compute(graph, ("query", semantics, query), compute)
 
 

@@ -1,0 +1,518 @@
+"""Incremental maintenance of standard atom relations across graph versions.
+
+Every engine cache is keyed on ``GraphDatabase.version``, so before this
+module *any* mutation discarded *all* derived work: one inserted edge
+forced a full product sweep per atom language on the next query.  Real
+graph workloads are streams of small updates interleaved with queries;
+an :class:`IncrementalRelationStore` attached to a graph keeps the
+standard (walk) relations — the base tables of the st glue, the pruning
+tables of the q-inj search, and the candidate filter of the a-inj
+simple-path searches — *maintained* across versions instead.
+
+**Maintained state.**  Per relation the store keeps the full product
+reachability function as source bitmasks: for every reachable product
+state ``(node, nfa_state)``, the set of graph nodes *u* (encoded as an
+integer bitmask over a store-local node→bit table) such that ``(u, q₀)``
+reaches that state.  The pair relation is derived: node *v* answers
+``(u, v)`` iff bit *u* is set on some final-bearing state ``(v, f)``.
+ε-acceptance needs no special case — Glushkov automata accept ε iff an
+initial state is final, so the seed masks produce the diagonal pairs
+themselves.
+
+**Insert-only deltas** (semi-naive frontier growth).  New nodes seed
+``(n, q₀)``; each new edge ``(s, a, t)`` jolts the product states
+``(t, q')`` with the masks of ``(s, q)`` for every transition
+``(q, a, q')``; a worklist then propagates exactly the *gained* bits
+forward through the current graph until the (monotone) fixpoint.
+Work is proportional to the affected product region — an update on a
+label the automaton never reads costs nothing at all.
+
+**Deletion deltas** (dirty-region repair, threshold-gated).  Removing
+edges can only shrink masks *downstream* of a removed product edge: the
+dirty region is the forward closure of the removed edges' product
+targets over the old product graph (over-approximated by current ∪
+removed edges — sound, never smaller than the true region).  States
+outside it keep their masks; states inside are reset to their seeds plus
+the contributions of their unaffected predecessors and re-propagated
+internally.  Deltas with more than ``deletion_repair_cap`` removed
+edges, any removed *node* (bit-table hygiene), or a delta the graph's
+capped change-log no longer covers fall back to a full rebuild.
+Correctness never depends on the heuristic: every path recomputes the
+same fixpoint, only the amount of touched state differs.
+
+**Sharing.**  The store is attached to the graph
+(``graph._incremental_store``) and consulted by
+:func:`repro.engine.cache.atom_relation` (pair sets),
+:func:`repro.engine.relations.relation_for` (the planner's and the
+q-inj search's indexed base tables), and the batch executor's
+relation-store warm-up — maintained relations flow through exactly the
+same hooks rebuilt ones do, so every consumer of a graph version sees
+one shared :class:`~repro.engine.relations.Relation` per language.
+Simple-path / simple-cycle relations (a-inj) stay version-discard —
+they are NP-hard per atom and non-monotone under insertion — but their
+recomputation prunes through the *maintained* standard relation, so
+they too get cheaper under small deltas.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from repro.engine.cache import compiled_nfa, reversed_nfa
+from repro.engine.relations import Relation
+
+#: Removed-edge budget for in-place repair.  Past it the relation is
+#: rebuilt from scratch — repairing a huge deletion would touch most of
+#: the product anyway.  Tests shrink this to force the rebuild path.
+DELETION_REPAIR_CAP = 64
+
+#: Maximum number of maintained relations per store (least-recently-used
+#: eviction; an evicted language is simply rebuilt on next use).
+STORE_RELATION_CAP = 256
+
+#: Decision-log length kept per store (for ``--explain`` reporting).
+DECISION_LOG_CAP = 512
+
+#: Maximum number of reusable query results kept per store (LRU).
+QUERY_RESULT_CAP = 512
+
+
+def _decode(mask, node_of):
+    """Yield the nodes whose bits are set in ``mask``."""
+    while mask:
+        low_bit = mask & -mask
+        yield node_of[low_bit.bit_length() - 1]
+        mask ^= low_bit
+
+
+class MaintainedRelation:
+    """The mutable maintained state of one standard walk relation."""
+
+    __slots__ = ("nfa", "label", "version", "bit_of", "node_of", "sources",
+                 "target_masks", "pairs", "dirty", "_relation")
+
+    def __init__(self, nfa, label="?"):
+        self.nfa = nfa
+        self.label = label
+        self.version = None
+        self.bit_of = {}        # node -> bit index (store-local, stable)
+        self.node_of = []       # bit index -> node
+        self.sources = {}       # (node, state) -> nonzero source bitmask
+        self.target_masks = {}  # node -> mask of sources reaching (node, f)
+        self.pairs = set()      # the derived pair relation
+        self.dirty = True
+        self._relation = None
+
+    def _bit(self, node):
+        bit = self.bit_of.get(node)
+        if bit is None:
+            bit = self.bit_of[node] = len(self.node_of)
+            self.node_of.append(node)
+        return bit
+
+    def _gain_targets(self, node, bits):
+        old = self.target_masks.get(node, 0)
+        merged = old | bits
+        if merged == old:
+            return
+        self.target_masks[node] = merged
+        for source in _decode(merged & ~old, self.node_of):
+            self.pairs.add((source, node))
+        self.dirty = True
+
+    # -- full rebuild ---------------------------------------------------
+
+    def rebuild(self, graph):
+        """Recompute everything: the whole graph as one insert delta."""
+        self.bit_of = {}
+        self.node_of = []
+        self.sources = {}
+        self.target_masks = {}
+        self.pairs = set()
+        self.dirty = True
+        self.grow(graph, graph.nodes, graph.edges)
+        self.version = graph.version
+
+    # -- insert-only maintenance ----------------------------------------
+
+    def grow(self, graph, added_nodes, added_edges):
+        """Semi-naive frontier expansion from the new nodes/edges only."""
+        nfa = self.nfa
+        transitions = nfa.transitions
+        finals = nfa.finals
+        sources = self.sources
+        pending = []
+
+        def raise_mask(state, bits):
+            old = sources.get(state, 0)
+            merged = old | bits
+            if merged != old:
+                sources[state] = merged
+                pending.append((state, merged & ~old))
+
+        for node in added_nodes:
+            bit = 1 << self._bit(node)
+            for initial in nfa.initials:
+                raise_mask((node, initial), bit)
+        for edge in added_edges:
+            for state in nfa.states:
+                mask = sources.get((edge.source, state))
+                if not mask:
+                    continue
+                for next_state in transitions.get((state, edge.label), ()):
+                    raise_mask((edge.target, next_state), mask)
+
+        while pending:
+            (node, state), bits = pending.pop()
+            if state in finals:
+                self._gain_targets(node, bits)
+            for edge in graph.out_edges(node):
+                next_states = transitions.get((state, edge.label))
+                if not next_states:
+                    continue
+                for next_state in next_states:
+                    raise_mask((edge.target, next_state), bits)
+
+    # -- deletion repair -------------------------------------------------
+
+    def shrink(self, graph, removed_edges):
+        """Repair the dirty region downstream of the removed edges.
+
+        Sound for mixed deltas when run *before* :meth:`grow`: the dirty
+        closure uses current ∪ removed edges (a superset of the old
+        product edges), repaired masks are the exact fixpoint given the
+        untouched exterior, and any growth the added edges owe the
+        exterior is delivered by the subsequent ``grow`` worklist.
+        """
+        nfa = self.nfa
+        transitions = nfa.transitions
+        reverse_transitions = reversed_nfa(nfa).transitions
+        finals = nfa.finals
+        initials = nfa.initials
+        sources = self.sources
+
+        removed_out = {}
+        for edge in removed_edges:
+            removed_out.setdefault(edge.source, []).append(edge)
+
+        # 1. Product targets of the removed edges (reachable ones only).
+        dirty = set()
+        stack = []
+        for edge in removed_edges:
+            for state in nfa.states:
+                if (edge.source, state) not in sources:
+                    continue
+                for next_state in transitions.get((state, edge.label), ()):
+                    target_state = (edge.target, next_state)
+                    if target_state in sources and target_state not in dirty:
+                        dirty.add(target_state)
+                        stack.append(target_state)
+
+        # 2. Forward closure over the old product graph.
+        while stack:
+            node, state = stack.pop()
+            out_edges = list(graph.out_edges(node)) + removed_out.get(node, [])
+            for edge in out_edges:
+                for next_state in transitions.get((state, edge.label), ()):
+                    successor = (edge.target, next_state)
+                    if successor in sources and successor not in dirty:
+                        dirty.add(successor)
+                        stack.append(successor)
+
+        if not dirty:
+            return
+
+        # 3. Base masks: seeds plus unaffected-predecessor contributions.
+        base = {}
+        for node, state in dirty:
+            mask = (1 << self.bit_of[node]) if state in initials else 0
+            for edge in graph.in_edges(node):
+                for pred_state in reverse_transitions.get(
+                        (state, edge.label), ()):
+                    predecessor = (edge.source, pred_state)
+                    if predecessor not in dirty:
+                        mask |= sources.get(predecessor, 0)
+            base[(node, state)] = mask
+
+        # 4. Reset the region and re-propagate to the fixpoint.  The
+        #    worklist is deliberately *not* confined to the dirty region:
+        #    with a mixed delta, bits entering the region through an
+        #    added edge must flow onward to previously-unreachable
+        #    states, and the later ``grow`` jolt would no-op on them
+        #    (the mask is already present here).  Unrestricted
+        #    propagation is sound — only bits valid in the current graph
+        #    flow, and pure-deletion deltas never leave the region.
+        for state in dirty:
+            sources.pop(state, None)
+        pending = []
+
+        def raise_mask(state, bits):
+            old = sources.get(state, 0)
+            merged = old | bits
+            if merged != old:
+                sources[state] = merged
+                pending.append((state, merged & ~old))
+
+        for state, mask in base.items():
+            if mask:
+                raise_mask(state, mask)
+        while pending:
+            (node, state), bits = pending.pop()
+            if state in finals:
+                self._gain_targets(node, bits)
+            for edge in graph.out_edges(node):
+                for next_state in transitions.get((state, edge.label), ()):
+                    raise_mask((edge.target, next_state), bits)
+
+        # 5. Re-derive the pair masks of every affected target node.
+        for node in {node for node, state in dirty if state in finals}:
+            new_mask = 0
+            for final in finals:
+                new_mask |= sources.get((node, final), 0)
+            old_mask = self.target_masks.get(node, 0)
+            if new_mask == old_mask:
+                continue
+            for source in _decode(old_mask & ~new_mask, self.node_of):
+                self.pairs.discard((source, node))
+            for source in _decode(new_mask & ~old_mask, self.node_of):
+                self.pairs.add((source, node))
+            if new_mask:
+                self.target_masks[node] = new_mask
+            else:
+                self.target_masks.pop(node, None)
+            self.dirty = True
+
+    # -- materialization -------------------------------------------------
+
+    def relation(self):
+        """The current pair relation as a shared, hash-indexed
+        :class:`Relation`; rebuilt only when the pairs changed, so
+        unaffected updates hand every consumer the *same object*."""
+        if self._relation is None or self.dirty:
+            self._relation = Relation(self.pairs)
+            self.dirty = False
+        return self._relation
+
+
+class IncrementalRelationStore:
+    """Maintains standard atom relations for one graph across versions.
+
+    Constructing the store attaches it to the graph; from then on the
+    engine's standard-relation lookups (`cache.atom_relation`,
+    `relations.relation_for`, the batch executor's store) are served
+    from maintained state, refreshed per :meth:`GraphDatabase.delta_since`
+    instead of recomputed per version.  Thread-safe (the batch executor
+    warms relations from worker threads).
+    """
+
+    def __init__(self, graph, deletion_repair_cap=DELETION_REPAIR_CAP,
+                 max_relations=STORE_RELATION_CAP):
+        self.graph = graph
+        self.deletion_repair_cap = deletion_repair_cap
+        self.max_relations = max_relations
+        self._states = OrderedDict()   # interned NFA -> MaintainedRelation
+        self._query_results = OrderedDict()  # (semantics, query) -> entry
+        self._decisions = []
+        self._counts = {"built": 0, "maintained": 0, "rebuilt": 0,
+                        "results_reused": 0}
+        self._lock = threading.RLock()
+        graph._incremental_store = self
+
+    # -- lifecycle -------------------------------------------------------
+
+    def detach(self):
+        """Detach from the graph; subsequent lookups rebuild per version."""
+        if getattr(self.graph, "_incremental_store", None) is self:
+            del self.graph._incremental_store
+
+    # -- decision log ----------------------------------------------------
+
+    @property
+    def counts(self):
+        """``{"built": .., "maintained": .., "rebuilt": ..,
+        "results_reused": ..}`` totals."""
+        return dict(self._counts)
+
+    @property
+    def decisions(self):
+        """The per-relation decision log: ``(version, label, description)``
+        tuples, oldest first (bounded by :data:`DECISION_LOG_CAP`)."""
+        return tuple(self._decisions)
+
+    def clear_decisions(self):
+        self._decisions.clear()
+
+    def _decide(self, action, state, description):
+        self._counts[action] += 1
+        self._decisions.append((self.graph.version, state.label, description))
+        if len(self._decisions) > DECISION_LOG_CAP:
+            del self._decisions[:len(self._decisions) - DECISION_LOG_CAP]
+
+    def explain_text(self):
+        """Render the decision log (the CLI's ``update --explain``)."""
+        if not self._decisions:
+            return "no relation decisions recorded"
+        lines = [
+            f"v{version} [{label}] {description}"
+            for version, label, description in self._decisions
+        ]
+        counts = self._counts
+        lines.append(
+            f"totals: {counts['built']} built, {counts['maintained']} "
+            f"maintained, {counts['rebuilt']} rebuilt, "
+            f"{counts['results_reused']} result(s) reused"
+        )
+        return "\n".join(lines)
+
+    # -- the maintained lookups ------------------------------------------
+
+    def standard_relation(self, language):
+        """The maintained, hash-indexed standard :class:`Relation` of
+        ``language`` at the graph's current version."""
+        with self._lock:
+            return self._state_for(language).relation()
+
+    def standard_pairs(self, language):
+        """The maintained standard pair set (a frozenset) — what
+        :func:`repro.engine.cache.atom_relation` serves on a miss."""
+        return self.standard_relation(language).pairs
+
+    def maintained_relation(self, atom, semantics):
+        """The ``relation_for``-shaped lookup: the maintained standard
+        relation when that is what ``semantics`` needs for ``atom``
+        (standard glue tables, q-inj pruning tables), else ``None`` —
+        the caller falls back to the version-discard cache."""
+        from repro.semantics.base import Semantics
+        from repro.semantics.rpq import atom_relation_kind
+
+        if semantics is Semantics.QUERY_INJECTIVE:
+            kind = "standard"
+        else:
+            kind = atom_relation_kind(atom, semantics)
+        if kind != "standard":
+            return None
+        return self.standard_relation(atom.language)
+
+    # -- versioned query-result reuse ------------------------------------
+
+    def query_result(self, semantics, query, compute):
+        """Versioned result reuse for one ε-free disjunct.
+
+        Standard and atom-injective answers are pure functions of the
+        plan's base tables plus the node set, so when *every* atom of
+        ``query`` is served by a maintained relation and neither the
+        table identities (materialization hands out the same object
+        while the pairs are unchanged) nor the node set moved since the
+        last evaluation, the previous answers are returned without
+        planning or joining.  Query-injective answers depend on witness
+        *paths*, not just endpoint tables, so they always recompute.
+        Falls back to ``compute()`` whenever any table is not maintained
+        (a-inj simple-path tables stay version-discard).
+        """
+        from repro.semantics.base import Semantics
+
+        if semantics is Semantics.QUERY_INJECTIVE:
+            return compute()
+        fingerprint = self._result_fingerprint(query, semantics)
+        if fingerprint is None:
+            return compute()
+        relations, nodes = fingerprint
+        key = (semantics, query)
+        with self._lock:
+            entry = self._query_results.get(key)
+            if entry is not None:
+                answers, old_relations, old_nodes = entry
+                if (len(old_relations) == len(relations)
+                        and all(old is new for old, new
+                                in zip(old_relations, relations))
+                        and old_nodes == nodes):
+                    self._query_results.move_to_end(key)
+                    self._counts["results_reused"] += 1
+                    return answers
+        answers = frozenset(compute())
+        with self._lock:
+            self._query_results[key] = (answers, relations, nodes)
+            self._query_results.move_to_end(key)
+            while len(self._query_results) > QUERY_RESULT_CAP:
+                self._query_results.popitem(last=False)
+        return answers
+
+    def _result_fingerprint(self, query, semantics):
+        """The reuse key of one disjunct: its maintained base tables (by
+        identity) plus the node set — or ``None`` when any atom's table
+        is not maintained, which disables reuse for the disjunct."""
+        relations = []
+        for atom in query.atoms:
+            maintained = self.maintained_relation(atom, semantics)
+            if maintained is None:
+                return None
+            relations.append(maintained)
+        return tuple(relations), self.graph.nodes
+
+    def _state_for(self, language):
+        nfa = compiled_nfa(language)
+        graph = self.graph
+        with self._lock:
+            state = self._states.get(nfa)
+            if state is None:
+                label = str(language)
+                if len(label) > 40:
+                    label = label[:37] + "..."
+                state = MaintainedRelation(nfa, label=label)
+                state.rebuild(graph)
+                self._states[nfa] = state
+                self._decide("built", state,
+                             f"built relation ({len(state.pairs)} pairs)")
+                while len(self._states) > self.max_relations:
+                    self._states.popitem(last=False)
+            elif state.version != graph.version:
+                self._refresh(state)
+            self._states.move_to_end(nfa)
+            return state
+
+    def _refresh(self, state):
+        graph = self.graph
+        delta = graph.delta_since(state.version)
+        if delta is None:
+            state.rebuild(graph)
+            self._decide("rebuilt", state,
+                         "rebuilt: change-log window exceeded")
+            return
+        if delta.removed_nodes:
+            state.rebuild(graph)
+            self._decide("rebuilt", state,
+                         f"rebuilt: {len(delta.removed_nodes)} node(s) "
+                         f"removed in delta")
+            return
+        if len(delta.removed_edges) > self.deletion_repair_cap:
+            state.rebuild(graph)
+            self._decide("rebuilt", state,
+                         f"rebuilt: {len(delta.removed_edges)} removed "
+                         f"edges exceed repair cap "
+                         f"{self.deletion_repair_cap}")
+            return
+        if delta.removed_edges:
+            state.shrink(graph, delta.removed_edges)
+        if delta.added_nodes or delta.added_edges:
+            state.grow(graph, delta.added_nodes, delta.added_edges)
+        state.version = graph.version
+        self._decide("maintained", state,
+                     f"maintained across delta {delta} "
+                     f"({len(state.pairs)} pairs)")
+
+
+def incremental_store(graph, **kwargs):
+    """The store attached to ``graph``, creating (and attaching) one on
+    first use — the one-liner that turns a graph dynamic.  Configuring
+    an *already attached* store is refused rather than silently ignored
+    (detach the old store first, or construct the store directly)."""
+    store = getattr(graph, "_incremental_store", None)
+    if store is None:
+        store = IncrementalRelationStore(graph, **kwargs)
+    elif kwargs:
+        raise ValueError(
+            f"graph already has an attached store; cannot re-configure "
+            f"with {sorted(kwargs)} (detach it first)"
+        )
+    return store

@@ -39,7 +39,8 @@ from repro.engine.join import (
     semijoin,
     true_relation,
 )
-from repro.engine.relations import Relation, atom_relation_index
+from repro.engine.relations import Relation
+from repro.engine.relations import relation_for as default_relation_for
 
 #: Row budget for one intermediate relation during variable elimination
 #: on a cyclic component.  Past it, the component falls back to the
@@ -481,10 +482,12 @@ def plan_eps_free(query, graph, semantics, relation_for=None, binding=None):
 
     ``relation_for(graph, atom, semantics)`` overrides where base tables
     come from (the batch executor passes its shared store); the default
-    is the graph-cached :func:`~repro.engine.relations.atom_relation_index`.
-    ``binding`` pins head variables to nodes (the membership check).
+    is :func:`repro.engine.relations.relation_for` — the graph-cached
+    index, or the attached incremental store's maintained relation for
+    standard-kind tables.  ``binding`` pins head variables to nodes (the
+    membership check).
     """
-    relation_for = relation_for or atom_relation_index
+    relation_for = relation_for or default_relation_for
     unary = {}
     loop_atoms = []
     binary = []

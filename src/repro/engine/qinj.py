@@ -51,7 +51,7 @@ from repro.engine.adjacency import adjacency_index
 from repro.engine.cache import compiled_nfa, graph_cached
 from repro.engine.join import TupleRelation
 from repro.engine.planner import semijoin_reduce
-from repro.engine.relations import Relation, atom_relation_index
+from repro.engine.relations import Relation, relation_for
 from repro.graphdb.paths import simple_cycles_through, simple_paths
 from repro.semantics.base import Semantics
 
@@ -201,8 +201,10 @@ def standard_pruning_relation(graph, atom, semantics=None):
     """Default ``relation_for`` hook: the atom's *standard* (walk)
     :class:`Relation` — the sound q-inj over-approximation (every simple
     path / cycle is a walk).  ``semantics`` is accepted for hook-signature
-    compatibility and ignored."""
-    return atom_relation_index(graph, atom, Semantics.STANDARD)
+    compatibility and ignored.  Routed through
+    :func:`repro.engine.relations.relation_for`, so a graph with an
+    attached incremental store serves its maintained relations here too."""
+    return relation_for(graph, atom, Semantics.STANDARD)
 
 
 class QinjPlan:

@@ -132,3 +132,28 @@ def atom_relation_index(graph, atom, semantics):
         ("relation-index", kind, nfa),
         lambda: Relation(relation_by_kind(graph, nfa, kind)),
     )
+
+
+def relation_for(graph, atom, semantics):
+    """The default ``relation_for`` hook of the planner and the q-inj
+    pruning plan: the attached incremental store's *maintained* standard
+    relation when one is attached and ``semantics`` wants the standard
+    kind, else the version-discard :func:`atom_relation_index`.
+
+    Query-injective callers get the standard (walk) relation — its
+    sound pruning over-approximation — whether or not a store is
+    attached, so behavior never differs by store presence.  Maintained
+    and rebuilt relations are interchangeable by contract — both are
+    hash-indexed :class:`Relation` tables shared across every consumer
+    of the current graph version.
+    """
+    from repro.semantics.base import Semantics
+
+    if semantics is Semantics.QUERY_INJECTIVE:
+        semantics = Semantics.STANDARD
+    store = getattr(graph, "_incremental_store", None)
+    if store is not None:
+        maintained = store.maintained_relation(atom, semantics)
+        if maintained is not None:
+            return maintained
+    return atom_relation_index(graph, atom, semantics)

@@ -4,7 +4,7 @@ A graph database over a finite alphabet A is a finite edge-labeled graph
 G = (V, E) with E ⊆ V × A × V (§2 of the paper).
 """
 
-from repro.graphdb.graph import Edge, GraphDatabase
+from repro.graphdb.graph import Edge, GraphDatabase, GraphDelta
 from repro.graphdb.paths import (
     Path,
     all_paths_up_to,
@@ -16,6 +16,7 @@ from repro.graphdb import generators
 __all__ = [
     "Edge",
     "GraphDatabase",
+    "GraphDelta",
     "Path",
     "simple_paths",
     "simple_cycles_through",

@@ -3,12 +3,25 @@
 Nodes and labels are arbitrary hashable values.  Edges are triples
 ``(source, label, target)``; parallel edges with distinct labels are
 allowed, duplicate triples are ignored (E is a *set*, per the paper).
+
+Mutation is versioned: every *effective* mutation (including removals)
+bumps ``version`` and appends to a capped change-log, so the engine
+layer can either invalidate lazily (version mismatch) or ask
+:meth:`GraphDatabase.delta_since` for the exact net difference between
+two versions and maintain its derived structures incrementally
+(:mod:`repro.engine.incremental`).
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
+from collections import defaultdict, deque
 from dataclasses import dataclass
+
+#: Default number of change-log entries kept per graph.  Once the log
+#: outgrows the cap the oldest entries are dropped and ``delta_since``
+#: answers ``None`` for versions before the remaining window — callers
+#: must then rebuild rather than maintain.
+CHANGELOG_CAP = 1024
 
 
 @dataclass(frozen=True, order=True)
@@ -23,16 +36,53 @@ class Edge:
         return f"{self.source} -{self.label}-> {self.target}"
 
 
+@dataclass(frozen=True)
+class GraphDelta:
+    """The *net* difference between two graph versions.
+
+    Operations that cancel out inside the window (an edge added and then
+    removed, or removed and re-added) do not appear: the delta describes
+    the end states only, which is exactly what view maintenance needs.
+    """
+
+    added_nodes: frozenset
+    removed_nodes: frozenset
+    added_edges: frozenset
+    removed_edges: frozenset
+
+    def is_empty(self):
+        """True when the two versions describe the same graph."""
+        return not (self.added_nodes or self.removed_nodes
+                    or self.added_edges or self.removed_edges)
+
+    @property
+    def insert_only(self):
+        """True when nothing was removed — the monotone-growth fast path."""
+        return not (self.removed_nodes or self.removed_edges)
+
+    def size(self):
+        """Total number of net changes (nodes + edges, both directions)."""
+        return (len(self.added_nodes) + len(self.removed_nodes)
+                + len(self.added_edges) + len(self.removed_edges))
+
+    def __str__(self):
+        return (f"+{len(self.added_edges)}e/+{len(self.added_nodes)}n "
+                f"-{len(self.removed_edges)}e/-{len(self.removed_nodes)}n")
+
+
 class GraphDatabase:
     """A finite edge-labeled directed graph G = (V, E) over alphabet A."""
 
-    def __init__(self, nodes=(), edges=()):
+    def __init__(self, nodes=(), edges=(), changelog_cap=CHANGELOG_CAP):
         self._nodes = set()
         self._edges = set()
         self._out = defaultdict(set)   # node -> set of Edge
         self._in = defaultdict(set)    # node -> set of Edge
         self._by_label = defaultdict(set)
         self._version = 0
+        self._changelog = deque()      # (version, op, payload)
+        self._changelog_cap = changelog_cap
+        self._changelog_floor = 0      # oldest version delta_since can serve
         for node in nodes:
             self.add_node(node)
         for edge in edges:
@@ -46,11 +96,21 @@ class GraphDatabase:
     # Mutation
     # ------------------------------------------------------------------
 
+    def _log(self, op, payload):
+        self._changelog.append((self._version, op, payload))
+        while len(self._changelog) > self._changelog_cap:
+            dropped_version, _op, _payload = self._changelog.popleft()
+            # Entries with version == v are not needed by delta_since(v)
+            # (it folds strictly-newer entries), so the floor is exactly
+            # the dropped entry's version.
+            self._changelog_floor = dropped_version
+
     def add_node(self, node):
         """Add an isolated node (no-op if present)."""
         if node not in self._nodes:
             self._nodes.add(node)
             self._version += 1
+            self._log("+n", node)
         return node
 
     def add_edge(self, source, label, target):
@@ -58,14 +118,109 @@ class GraphDatabase:
         edge = Edge(source, label, target)
         if edge in self._edges:
             return edge
-        self._nodes.add(source)
-        self._nodes.add(target)
+        new_nodes = []
+        for node in (source, target):
+            if node not in self._nodes:
+                self._nodes.add(node)
+                new_nodes.append(node)
         self._edges.add(edge)
         self._out[source].add(edge)
         self._in[target].add(edge)
         self._by_label[label].add(edge)
         self._version += 1
+        for node in new_nodes:
+            self._log("+n", node)
+        self._log("+e", edge)
         return edge
+
+    def remove_edge(self, source, label, target):
+        """Remove the edge ``source -label-> target`` (endpoints stay).
+
+        Raises :class:`KeyError` when the edge is not present.  All index
+        entries are cleaned up completely — a node or label whose last
+        edge disappears leaves no empty-set residue behind.
+        """
+        edge = Edge(source, label, target)
+        if edge not in self._edges:
+            raise KeyError(f"cannot remove missing edge {edge}")
+        self._edges.discard(edge)
+        for mapping, key in ((self._out, source), (self._in, target),
+                             (self._by_label, label)):
+            members = mapping[key]
+            members.discard(edge)
+            if not members:
+                del mapping[key]
+        self._version += 1
+        self._log("-e", edge)
+        return edge
+
+    def remove_node(self, node, cascade=False):
+        """Remove ``node``; raises :class:`KeyError` when absent.
+
+        A node with incident edges is refused unless ``cascade=True``,
+        in which case the incident edges are removed first (each one a
+        logged, version-bumping mutation of its own, in deterministic
+        order).
+        """
+        if node not in self._nodes:
+            raise KeyError(f"cannot remove missing node {node!r}")
+        incident = set(self._out.get(node, ())) | set(self._in.get(node, ()))
+        if incident and not cascade:
+            raise ValueError(
+                f"node {node!r} has {len(incident)} incident edge(s); "
+                f"pass cascade=True to remove them too"
+            )
+        for edge in sorted(incident, key=lambda e: (repr(e.source),
+                                                    repr(e.label),
+                                                    repr(e.target))):
+            self.remove_edge(edge.source, edge.label, edge.target)
+        self._nodes.discard(node)
+        self._version += 1
+        self._log("-n", node)
+        return node
+
+    def delta_since(self, version):
+        """The net :class:`GraphDelta` between ``version`` and now.
+
+        Returns ``None`` when ``version`` predates the change-log window
+        (the capped log no longer covers it) — the caller must rebuild.
+        Raises :class:`ValueError` for versions the graph has not
+        reached yet.
+        """
+        if version > self._version:
+            raise ValueError(
+                f"version {version} is ahead of the graph (at "
+                f"{self._version})"
+            )
+        if version < self._changelog_floor:
+            return None
+        added_nodes, removed_nodes = set(), set()
+        added_edges, removed_edges = set(), set()
+        for entry_version, op, payload in self._changelog:
+            if entry_version <= version:
+                continue
+            if op == "+n":
+                if payload in removed_nodes:
+                    removed_nodes.discard(payload)
+                else:
+                    added_nodes.add(payload)
+            elif op == "-n":
+                if payload in added_nodes:
+                    added_nodes.discard(payload)
+                else:
+                    removed_nodes.add(payload)
+            elif op == "+e":
+                if payload in removed_edges:
+                    removed_edges.discard(payload)
+                else:
+                    added_edges.add(payload)
+            else:  # "-e"
+                if payload in added_edges:
+                    added_edges.discard(payload)
+                else:
+                    removed_edges.add(payload)
+        return GraphDelta(frozenset(added_nodes), frozenset(removed_nodes),
+                          frozenset(added_edges), frozenset(removed_edges))
 
     def add_path(self, nodes, labels):
         """Add a path through ``nodes`` with the given edge ``labels``."""
@@ -167,8 +322,9 @@ class GraphDatabase:
     # ------------------------------------------------------------------
 
     def copy(self):
-        """Return an independent copy."""
-        return GraphDatabase(self._nodes, self._edges)
+        """Return an independent copy (same change-log cap, fresh log)."""
+        return GraphDatabase(self._nodes, self._edges,
+                             changelog_cap=self._changelog_cap)
 
     def rename_nodes(self, mapping):
         """Return a copy with nodes renamed through ``mapping``.

@@ -22,6 +22,14 @@ Algorithms:
 
 The unguided joint search (:func:`_qinj_solutions`) is kept verbatim as
 the differential-test and benchmark reference.
+
+Dynamic graphs: attaching an
+:class:`~repro.engine.incremental.IncrementalRelationStore` to a graph
+changes none of these entry points — the planners and the atom-relation
+caches transparently read *maintained* standard relations (grown /
+repaired across versions from the graph's change-log) instead of
+rebuilding them per mutation, and the a-inj simple-path searches prune
+through the same maintained tables.
 """
 
 from __future__ import annotations

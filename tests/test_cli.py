@@ -37,6 +37,24 @@ class TestLoadGraph:
         with pytest.raises(ValueError, match="source label target"):
             load_graph(str(path))
 
+    def test_malformed_line_reports_location_and_text(self, tmp_path):
+        # The error must carry the 1-based line number and the offending
+        # text, not just the format reminder — a 10k-line graph file is
+        # undebuggable otherwise.
+        path = tmp_path / "g.txt"
+        path.write_text("u a v\n\n# fine so far\nu a v extra-token\n")
+        with pytest.raises(ValueError) as excinfo:
+            load_graph(str(path))
+        message = str(excinfo.value)
+        assert "g.txt:4" in message
+        assert "u a v extra-token" in message
+
+    def test_malformed_two_token_line_reports_location(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("only two\n")
+        with pytest.raises(ValueError, match=r"g\.txt:1.*'only two'"):
+            load_graph(str(path))
+
     def test_isolated_node_line(self, tmp_path):
         path = tmp_path / "g.txt"
         path.write_text("u a v\nlonely\n")

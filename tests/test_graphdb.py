@@ -110,6 +110,120 @@ class TestGraphDatabase:
         assert g.version == after_edge
 
 
+class TestRemoval:
+    def test_remove_edge(self):
+        g = GraphDatabase(edges=[(1, "a", 2), (1, "b", 2)])
+        before = g.version
+        g.remove_edge(1, "a", 2)
+        assert not g.has_edge(1, "a", 2)
+        assert g.has_edge(1, "b", 2)
+        assert g.nodes == {1, 2}  # endpoints stay
+        assert g.version == before + 1
+
+    def test_remove_missing_edge_raises(self):
+        g = GraphDatabase(edges=[(1, "a", 2)])
+        with pytest.raises(KeyError, match="missing edge"):
+            g.remove_edge(1, "b", 2)
+
+    def test_remove_edge_cleans_indexes_completely(self):
+        # Regression guard: a node or label whose last edge disappears
+        # must leave no empty-set residue in the internal indexes.
+        g = GraphDatabase(edges=[(1, "a", 2), (2, "a", 3)])
+        g.remove_edge(1, "a", 2)
+        assert 1 not in g._out
+        assert 2 not in g._in
+        assert "a" in g._by_label  # still carried by (2, a, 3)
+        g.remove_edge(2, "a", 3)
+        assert not g._out and not g._in and not g._by_label
+        assert g.alphabet == frozenset()
+        assert g.out_edges(1) == frozenset()
+
+    def test_remove_node_refuses_incident_edges_without_cascade(self):
+        g = GraphDatabase(edges=[(1, "a", 2)])
+        with pytest.raises(ValueError, match="cascade=True"):
+            g.remove_node(2)
+        assert g.has_edge(1, "a", 2)
+
+    def test_remove_node_cascade(self):
+        g = GraphDatabase(edges=[(1, "a", 2), (2, "b", 3), (3, "c", 3)])
+        g.remove_node(3, cascade=True)
+        assert g.nodes == {1, 2}
+        assert g.edges == {Edge(1, "a", 2)}
+        assert 3 not in g._out and 3 not in g._in
+        assert "b" not in g._by_label and "c" not in g._by_label
+
+    def test_remove_isolated_node(self):
+        g = GraphDatabase(nodes=[1])
+        g.remove_node(1)
+        assert g.nodes == frozenset()
+
+    def test_remove_missing_node_raises(self):
+        g = GraphDatabase()
+        with pytest.raises(KeyError, match="missing node"):
+            g.remove_node(42)
+
+    def test_removal_bumps_version(self):
+        g = GraphDatabase(edges=[(1, "a", 2)])
+        before = g.version
+        g.remove_edge(1, "a", 2)
+        g.remove_node(1)
+        assert g.version == before + 2
+
+
+class TestChangeLog:
+    def test_delta_since_current_version_is_empty(self):
+        g = GraphDatabase(edges=[(1, "a", 2)])
+        delta = g.delta_since(g.version)
+        assert delta.is_empty() and delta.insert_only
+
+    def test_delta_since_reports_net_changes(self):
+        g = GraphDatabase()
+        start = g.version
+        g.add_edge(1, "a", 2)
+        g.add_node(3)
+        g.remove_edge(1, "a", 2)
+        delta = g.delta_since(start)
+        # The edge was added then removed inside the window: net zero.
+        assert delta.added_edges == frozenset()
+        assert delta.removed_edges == frozenset()
+        assert delta.added_nodes == {1, 2, 3}
+        assert delta.insert_only
+
+    def test_delta_folds_remove_then_readd(self):
+        g = GraphDatabase(edges=[(1, "a", 2)])
+        mark = g.version
+        g.remove_edge(1, "a", 2)
+        g.add_edge(1, "a", 2)
+        assert g.delta_since(mark).is_empty()
+
+    def test_delta_records_deletions(self):
+        g = GraphDatabase(edges=[(1, "a", 2), (2, "a", 3)])
+        mark = g.version
+        g.remove_node(3, cascade=True)
+        g.add_edge(1, "b", 2)
+        delta = g.delta_since(mark)
+        assert delta.removed_nodes == {3}
+        assert delta.removed_edges == {Edge(2, "a", 3)}
+        assert delta.added_edges == {Edge(1, "b", 2)}
+        assert not delta.insert_only
+        assert delta.size() == 3
+
+    def test_window_exceeded_returns_none(self):
+        g = GraphDatabase(changelog_cap=4)
+        mark = g.version
+        for index in range(10):
+            g.add_node(index)
+        assert g.delta_since(mark) is None
+        # Recent versions are still inside the window.
+        recent = g.delta_since(g.version - 2)
+        assert recent is not None and len(recent.added_nodes) == 2
+
+    def test_future_version_raises(self):
+        g = GraphDatabase()
+        with pytest.raises(ValueError, match="ahead"):
+            g.delta_since(g.version + 1)
+
+
 class TestPath:
     def test_label_and_internal_nodes(self):
         p = Path(("x", "y", "z"), ("a", "b"))
