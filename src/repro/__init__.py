@@ -10,6 +10,10 @@ Public API highlights:
   standard, atom-injective, and query-injective semantics (§2.1, §3);
 - :func:`repro.evaluate_batch` — batched multi-query evaluation that
   amortizes NFA compilation and atom-relation work across queries;
+- :func:`repro.analyze` / :class:`repro.AnalysisReport` — the static
+  query analyzer every evaluation flows through: containment-certified
+  disjunct/atom pruning (audited decisions) plus warning-level lints,
+  memoized per query structure;
 - :func:`repro.incremental_store` /
   :class:`repro.IncrementalRelationStore` — incremental view
   maintenance for dynamic graphs: standard atom relations are grown /
@@ -35,6 +39,14 @@ from repro.errors import (
     ReproError,
     SearchBudgetExceeded,
 )
+from repro.engine.analyze import (
+    AnalysisBudget,
+    AnalysisDecision,
+    AnalysisLint,
+    AnalysisReport,
+    analysis_disabled,
+    analyze,
+)
 from repro.engine.incremental import IncrementalRelationStore, incremental_store
 from repro.engine.planner import explain_query
 from repro.graphdb import GraphDatabase, GraphDelta
@@ -58,6 +70,12 @@ __all__ = [
     "union_of",
     "NFA",
     "Semantics",
+    "AnalysisBudget",
+    "AnalysisDecision",
+    "AnalysisLint",
+    "AnalysisReport",
+    "analysis_disabled",
+    "analyze",
     "evaluate",
     "evaluate_batch",
     "explain_query",

@@ -93,7 +93,7 @@ def figure1_table_text():
             seen.add(key)
             pairs.append(key)
     lines = []
-    header = ["semantics"] + [f"{l}/{r}" for l, r in pairs]
+    header = ["semantics"] + [f"{lhs}/{rhs}" for lhs, rhs in pairs]
     widths = [max(18, len(h) + 2) for h in header]
     lines.append("".join(h.ljust(w) for h, w in zip(header, widths)))
     for semantics in (

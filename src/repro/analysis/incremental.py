@@ -133,7 +133,7 @@ def run_incremental_dynamics(delta_sizes=(1, 4, 16), num_steps=12,
         base = rare_backbone_graph(num_nodes, seed=seed)
         stream = dynamic_update_stream(base, num_steps, delta_size,
                                        seed=seed + delta_size)
-        family = f"rare-chain"
+        family = "rare-chain"
 
         plain = base.copy()
         for query in queries:  # warm both modes identically

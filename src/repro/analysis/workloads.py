@@ -16,7 +16,6 @@ from repro.regular.syntax import (
     plus,
     star,
     union,
-    word as word_regex,
 )
 
 

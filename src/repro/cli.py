@@ -8,6 +8,9 @@ Commands:
 - ``update``    — apply a mutation script (add/remove lines) to a graph
   and re-evaluate a query, with atom relations *maintained*
   incrementally across the updates instead of rebuilt;
+- ``analyze``   — statically analyze a query under a semantics: hard
+  facts, containment-certified pruning/rewrites (audited decisions),
+  and warning-level lints — no graph needed, nothing executed;
 - ``contains``  — decide containment between two queries;
 - ``figure1``   — print the Figure 1 complexity table (optionally with the
   empirical agreement matrix);
@@ -256,6 +259,22 @@ def cmd_update(args):
     return 0
 
 
+def cmd_analyze(args):
+    from repro.engine.analyze import analyze
+
+    query = parse_query(args.query)
+    semantics = _semantics_argument(args.semantics)
+    if isinstance(semantics, TrailSemantics):
+        raise ValueError(
+            "analyze supports st | a-inj | q-inj (trail semantics have "
+            "no static analyzer)"
+        )
+    report = analyze(query, semantics)
+    print(f"# {query}")
+    print(report.explain())
+    return 0
+
+
 def cmd_contains(args):
     q1 = parse_query(args.left)
     q2 = parse_query(args.right)
@@ -395,6 +414,17 @@ def build_parser():
              "delta / rebuilt, with the reason)",
     )
     p_upd.set_defaults(func=cmd_update)
+
+    p_an = sub.add_parser(
+        "analyze",
+        help="statically analyze a query: pruning decisions with their "
+             "containment verdicts, plus lint diagnostics",
+    )
+    p_an.add_argument("query", help='e.g. "Q(x,y) :- x -[(ab)*]-> y"')
+    p_an.add_argument(
+        "--semantics", default="st", help="st | a-inj | q-inj",
+    )
+    p_an.set_defaults(func=cmd_analyze)
 
     p_cont = sub.add_parser("contains", help="decide Q1 ⊆ Q2")
     p_cont.add_argument("left")

@@ -164,14 +164,30 @@ class BatchExecutor:
     # Planning and warm-up
     # ------------------------------------------------------------------
 
+    def _analyzed(self, entry):
+        """The ε-free disjuncts to execute for one entry: the static
+        analyzer's pruned/rewritten list under the executor's semantics
+        (:mod:`repro.engine.analyze`).  Reports are memoized per query
+        structure, so every phase (plan / warm / results / explain) and
+        every repeat of the same query across batches shares one
+        analysis; with analysis disabled this degrades to the entry's
+        admission-time ε-free normalization."""
+        from repro.engine.analyze import analyzed_disjuncts
+
+        query, _disjuncts = entry
+        return analyzed_disjuncts(query, self.semantics)
+
     def plan(self, batch):
-        """Summarize the shared work without computing any relation."""
+        """Summarize the shared work without computing any relation.
+
+        Counts reflect the *analyzed* disjunct lists: work pruned by the
+        static analyzer never contributes an atom job."""
         jobs = {}
         languages = {}
         num_disjuncts = 0
         num_atoms = 0
-        for _query, disjuncts in batch.entries:
-            for disjunct in disjuncts:
+        for entry in batch.entries:
+            for disjunct in self._analyzed(entry):
                 num_disjuncts += 1
                 for atom in disjunct.atoms:
                     num_atoms += 1
@@ -269,9 +285,8 @@ class BatchExecutor:
                 yield index, entry[0], self._entry_answers(entry)
 
     def _entry_answers(self, entry):
-        _query, disjuncts = entry
         answers = set()
-        for disjunct in disjuncts:
+        for disjunct in self._analyzed(entry):
             answers |= self._disjunct_answers(disjunct)
         return frozenset(answers)
 
@@ -302,17 +317,26 @@ class BatchExecutor:
     def explain(self, batch):
         """Render the batch plan plus every disjunct's join plan without
         executing any glue (the CLI's ``batch --explain``).  Relations
-        are warmed first — plan rendering reports their sizes."""
+        are warmed first — plan rendering reports their sizes.  Each
+        query's section opens with its static-analysis audit trail when
+        the analyzer pruned or rewrote anything."""
+        from repro.engine.analyze import analyze
         from repro.engine.planner import plan_eps_free
         from repro.engine.qinj import plan_qinj
 
         plan = self.warm(batch)
         lines = [f"batch plan: {plan} "
                  f"({plan.num_shared_atoms} atom occurrence(s) shared)"]
-        for index, (query, disjuncts) in enumerate(batch.entries):
+        for index, entry in enumerate(batch.entries):
+            query = entry[0]
             lines.append("")
             lines.append(f"[{index + 1}] {query}")
-            for disjunct in disjuncts:
+            report = analyze(query, self.semantics)
+            if report.pruned:
+                lines.extend(
+                    "  " + line for line in report.explain().splitlines()
+                )
+            for disjunct in report.disjuncts:
                 if self.semantics is Semantics.QUERY_INJECTIVE:
                     disjunct_plan = plan_qinj(
                         disjunct, self.graph,

@@ -1,6 +1,6 @@
 """Compilation and relation caches for the evaluation engine.
 
-Three cache families live here:
+Four cache families live here:
 
 - **NFA compilation cache** — ``Regex → NFA`` memoization, keyed
   *structurally* (regex AST nodes are frozen dataclasses, so equal
@@ -15,6 +15,12 @@ Three cache families live here:
   states ``(node, state)`` from which an accepting configuration
   ``(target, final)`` is reachable; used by the simple-path searches to
   prune dead branches before backtracking into them.
+- **Analysis cache** — per-(query structure, semantics) memoization of
+  the static analyzer's :class:`~repro.engine.analyze.AnalysisReport`.
+  Deliberately *graph-free*: analysis facts and rewrites depend only on
+  the query and the semantics, so reports survive graph mutations and
+  are shared across the batch and incremental layers.  Hit/miss
+  counters are exposed for tests and the CLI.
 
 Graph-scoped caches are stored on the graph instance and keyed by its
 mutation counter (``GraphDatabase.version``): any ``add_node`` /
@@ -44,6 +50,7 @@ from repro.regular.syntax import Regex
 # when full (correctness never depends on a hit).
 _NFA_CACHE_CAP = 4096
 _GRAPH_CACHE_CAP = 4096
+_ANALYSIS_CACHE_CAP = 1024
 
 
 class _LRUCache:
@@ -120,6 +127,78 @@ def clear_compilation_caches():
     """Drop the process-wide NFA caches (mainly for tests)."""
     _nfa_cache.clear()
     _reverse_cache.clear()
+    _emptiness_cache.clear()
+
+
+_emptiness_cache = _LRUCache(_NFA_CACHE_CAP)
+
+
+def language_is_empty(language):
+    """True iff ``language`` denotes ∅ — memoized per interned automaton.
+
+    Literal :class:`~repro.regular.syntax.Empty` regexes never reach the
+    engine (ε-elimination drops them), but *non-literal* empty languages
+    (e.g. ``a∅`` built programmatically, or an empty intersection) do;
+    the planners use this check to short-circuit such atoms before any
+    relation is materialized."""
+    nfa = compiled_nfa(language)
+    cached = _emptiness_cache.get(nfa)
+    if cached is None:
+        cached = nfa.is_empty()
+        _emptiness_cache.put(nfa, cached)
+    return cached
+
+
+# ----------------------------------------------------------------------
+# Analysis-report cache (graph-free, keyed by query structure)
+# ----------------------------------------------------------------------
+
+_analysis_cache = _LRUCache(_ANALYSIS_CACHE_CAP)
+_analysis_stats_lock = threading.Lock()
+_analysis_hits = 0
+_analysis_misses = 0
+
+
+def analysis_report(key, compute):
+    """Get-or-compute a static-analysis report.
+
+    ``key`` is a hashable summary of the *query structure* plus the
+    semantics — never the graph or its version, so one report serves
+    every graph and survives every mutation (the incremental layer's
+    requirement).  ``compute`` runs on a miss; its result is assumed
+    immutable."""
+    global _analysis_hits, _analysis_misses
+    report = _analysis_cache.get(key)
+    if report is not None:
+        with _analysis_stats_lock:
+            _analysis_hits += 1
+        return report
+    with _analysis_stats_lock:
+        _analysis_misses += 1
+    report = compute()
+    _analysis_cache.put(key, report)
+    return report
+
+
+def analysis_cache_stats():
+    """``{"hits": int, "misses": int, "entries": int}`` for the
+    analysis-report cache (tests pin that reports are reused across
+    graph versions)."""
+    with _analysis_stats_lock:
+        return {
+            "hits": _analysis_hits,
+            "misses": _analysis_misses,
+            "entries": len(_analysis_cache),
+        }
+
+
+def clear_analysis_cache():
+    """Drop every memoized analysis report and reset the counters."""
+    global _analysis_hits, _analysis_misses
+    _analysis_cache.clear()
+    with _analysis_stats_lock:
+        _analysis_hits = 0
+        _analysis_misses = 0
 
 
 # ----------------------------------------------------------------------

@@ -52,6 +52,13 @@ Simple-path / simple-cycle relations (a-inj) stay version-discard —
 they are NP-hard per atom and non-monotone under insertion — but their
 recomputation prunes through the *maintained* standard relation, so
 they too get cheaper under small deltas.
+
+**Static analysis.**  The query analyzer
+(:mod:`repro.engine.analyze`) keys its memoized reports by *query
+structure and semantics only* — never by graph or version — so the
+serving loop over a store-attached dynamic graph re-plans mutated
+relations but never re-analyzes an unchanged query: pruning decisions
+and certified rewrites survive every update for free.
 """
 
 from __future__ import annotations

@@ -30,6 +30,7 @@ to shrink the candidate space before backtracking.
 
 from __future__ import annotations
 
+from repro.engine.cache import language_is_empty
 from repro.engine.join import (
     TupleRelation,
     filter_rows,
@@ -251,10 +252,10 @@ class JoinPlan:
     """
 
     __slots__ = ("query", "graph", "semantics", "components", "unary",
-                 "loop_atoms", "binding")
+                 "loop_atoms", "binding", "empty_reason")
 
     def __init__(self, query, graph, semantics, components, unary,
-                 loop_atoms, binding):
+                 loop_atoms, binding, empty_reason=None):
         self.query = query
         self.graph = graph
         self.semantics = semantics
@@ -262,11 +263,14 @@ class JoinPlan:
         self.unary = unary            # var -> frozenset (loop-atom diagonals)
         self.loop_atoms = tuple(loop_atoms)
         self.binding = binding        # var -> node, from a target tuple
+        self.empty_reason = empty_reason  # str | None; set => no glue runs
 
     # -- execution ------------------------------------------------------
 
     def answers(self):
         """The disjunct's answer set: a set of head tuples."""
+        if self.empty_reason is not None:
+            return frozenset()
         result = true_relation()
         for component in self.components:
             rows = self._component_rows(component)
@@ -291,6 +295,8 @@ class JoinPlan:
         projects everything away, and the matcher fallback stops at its
         first homomorphism.
         """
+        if self.empty_reason is not None:
+            return False
         return all(
             not self._component_rows(component, exists_only=True).is_empty()
             for component in self.components
@@ -454,6 +460,10 @@ class JoinPlan:
         """A human-readable rendering of the plan (no glue executed)."""
         lines = [f"disjunct: {self.query}",
                  f"semantics: {self.semantics}"]
+        if self.empty_reason is not None:
+            lines.append(f"pruned empty: {self.empty_reason} "
+                         f"(no glue executed)")
+            return "\n".join(lines)
         if self.binding:
             rendered = ", ".join(
                 f"{k}={v}" for k, v in sorted(self.binding.items(), key=repr)
@@ -488,6 +498,18 @@ def plan_eps_free(query, graph, semantics, relation_for=None, binding=None):
     membership check).
     """
     relation_for = relation_for or default_relation_for
+    # Empty-language short-circuit: an atom denoting ∅ makes the whole
+    # disjunct unsatisfiable — return the empty plan *before* fetching
+    # or materializing any base table (the analyzer normally drops such
+    # disjuncts, but plans built directly, or with analysis disabled,
+    # must not pay for joining empty relations either).
+    for index, atom in enumerate(query.atoms):
+        if language_is_empty(atom.language):
+            return JoinPlan(
+                query, graph, semantics, (), {}, (), binding,
+                empty_reason=(f"atom {index} ({atom}) denotes the "
+                              f"empty language"),
+            )
     unary = {}
     loop_atoms = []
     binary = []
@@ -560,24 +582,27 @@ def explain_query(query, graph, semantics, relation_for=None):
     engine of the CLI's ``--explain`` (computes atom relations for the
     size annotations but never executes any glue or search).
 
-    Under st / a-inj the sections are :class:`JoinPlan` renderings;
-    under q-inj they are the relation-guided pruning plans of
-    :mod:`repro.engine.qinj` (reduced candidate tables, variable
+    The first section is the static analyzer's audit trail
+    (:mod:`repro.engine.analyze`): every pruned disjunct, every
+    certified rewrite with its containment verdict, and the lints.
+    Then, under st / a-inj, one :class:`JoinPlan` rendering per
+    *analyzed* disjunct; under q-inj the relation-guided pruning plans
+    of :mod:`repro.engine.qinj` (reduced candidate tables, variable
     domains, atom search order)."""
-    from repro.queries.crpq import union_of
+    from repro.engine.analyze import analyze
     from repro.semantics.base import Semantics
 
     semantics = Semantics.coerce(semantics)
-    sections = []
-    for disjunct in union_of(query):
-        for eps_free in disjunct.epsilon_free_union():
-            if semantics is Semantics.QUERY_INJECTIVE:
-                # Lazy import: qinj reuses this module's semijoin_reduce.
-                from repro.engine.qinj import plan_qinj
+    report = analyze(query, semantics)
+    sections = [report.explain()]
+    for eps_free in report.disjuncts:
+        if semantics is Semantics.QUERY_INJECTIVE:
+            # Lazy import: qinj reuses this module's semijoin_reduce.
+            from repro.engine.qinj import plan_qinj
 
-                plan = plan_qinj(eps_free, graph, relation_for=relation_for)
-            else:
-                plan = plan_eps_free(eps_free, graph, semantics,
-                                     relation_for=relation_for)
-            sections.append(plan.explain())
+            plan = plan_qinj(eps_free, graph, relation_for=relation_for)
+        else:
+            plan = plan_eps_free(eps_free, graph, semantics,
+                                 relation_for=relation_for)
+        sections.append(plan.explain())
     return "\n\n".join(sections)

@@ -48,7 +48,7 @@ import itertools
 import threading
 
 from repro.engine.adjacency import adjacency_index
-from repro.engine.cache import compiled_nfa, graph_cached
+from repro.engine.cache import compiled_nfa, graph_cached, language_is_empty
 from repro.engine.join import TupleRelation
 from repro.engine.planner import semijoin_reduce
 from repro.engine.relations import Relation, relation_for
@@ -464,6 +464,15 @@ def plan_qinj(query, graph, binding=None, relation_for=None):
             f"{len(query.variables)} variables cannot map injectively "
             f"into {len(graph.nodes)} node(s)"
         )
+    else:
+        # Empty-language short-circuit (mirrors plan_eps_free): never
+        # fetch or reduce relations for an unsatisfiable disjunct.
+        for index, atom in enumerate(atoms):
+            if language_is_empty(atom.language):
+                empty_reason = (
+                    f"atom {index} ({atom}) denotes the empty language"
+                )
+                break
     if empty_reason is not None:
         return QinjPlan(query, graph, binding, empty_reason, atoms, nfas,
                         (), {}, {}, base_sizes)

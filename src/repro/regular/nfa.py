@@ -18,7 +18,6 @@ from repro.regular.syntax import (
     Epsilon,
     Optional,
     Plus,
-    Regex,
     Star,
     Symbol,
     Union,

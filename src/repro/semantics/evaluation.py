@@ -37,6 +37,7 @@ from __future__ import annotations
 import itertools
 
 from repro.engine.adjacency import adjacency_index
+from repro.engine.analyze import analyzed_disjuncts
 from repro.engine.cache import compiled_nfa, query_result
 from repro.engine.planner import plan_eps_free
 from repro.engine.qinj import plan_qinj
@@ -51,12 +52,19 @@ def evaluate(query, graph, semantics):
 
     ``query`` may be a CRPQ, a CQ, or a union (tuple/list) of them; the
     union's evaluation is the union of the evaluations.
+
+    The ε-free disjuncts actually executed come from the static
+    analyzer (:mod:`repro.engine.analyze`): unsatisfiable or subsumed
+    disjuncts are pruned and certified-redundant atoms removed, under
+    rewrites sound for ``semantics`` — the answer set is unchanged.
+    The analysis is memoized per query structure (graph-independent);
+    :func:`repro.engine.analyze.analysis_disabled` restores the
+    unanalyzed path.
     """
     semantics = Semantics.coerce(semantics)
     results = set()
-    for disjunct in union_of(query):
-        for eps_free in disjunct.epsilon_free_union():
-            results |= evaluate_eps_free(eps_free, graph, semantics)
+    for eps_free in analyzed_disjuncts(query, semantics):
+        results |= evaluate_eps_free(eps_free, graph, semantics)
     return frozenset(results)
 
 
@@ -98,10 +106,9 @@ def in_evaluation(query, graph, target_tuple, semantics):
     for disjunct in disjuncts:
         if len(target_tuple) != len(disjunct.head):
             raise ValueError("target tuple arity mismatch")
-    for disjunct in disjuncts:
-        for eps_free in disjunct.epsilon_free_union():
-            if _check_eps_free(eps_free, graph, target_tuple, semantics):
-                return True
+    for eps_free in analyzed_disjuncts(query, semantics):
+        if _check_eps_free(eps_free, graph, target_tuple, semantics):
+            return True
     return False
 
 

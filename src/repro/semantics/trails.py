@@ -253,9 +253,6 @@ def _query_trail_solutions(query, graph, initial_mu=None):
                 (source,) if atom.is_loop() else node_candidates(atom.target)
             )
             for target in targets:
-                target_new = atom.target not in mu or (
-                    atom.is_loop() and False
-                )
                 if atom.target in mu and mu[atom.target] != target:
                     continue
                 had_target = atom.target in mu
