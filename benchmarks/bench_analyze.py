@@ -22,12 +22,11 @@ Run with::
     PYTHONPATH=src python -m pytest benchmarks/bench_analyze.py -q -s
 """
 
-import json
 import time
-from pathlib import Path
 
 import pytest
 
+from _trajectory import TrajectoryRecorder
 from repro.analysis.qinj_pruning import rare_backbone_graph, rare_chain_workload
 from repro.engine.analyze import analysis_disabled
 from repro.graphdb.generators import two_lane_road, uniform_random
@@ -37,7 +36,7 @@ from repro.queries.parser import parse_query
 from repro.regular.syntax import Concat, Empty, Symbol
 from repro.semantics.evaluation import evaluate
 
-TRAJECTORY_PATH = Path(__file__).resolve().parents[1] / "BENCH_analyze.json"
+_TRAJECTORY = TrajectoryRecorder("analyze")
 
 MAX_OVERHEAD_RATIO = 1.30  # analyzed / unanalyzed where nothing prunes
 
@@ -144,7 +143,7 @@ def test_subsumption_workload_at_least_2x():
     ratio = baseline / analyzed
     print(f"\nsubsumption workload [a-inj]: baseline {baseline:.4f}s, "
           f"analyzed {analyzed:.4f}s, speedup {ratio:.1f}x")
-    _record("subsumption_speedup_x", ratio,
+    _TRAJECTORY.record("subsumption_speedup_x", ratio,
             {"analyzed_s": analyzed, "baseline_s": baseline})
     assert ratio >= 2.0, (
         f"analyzer speedup on the subsumption workload only {ratio:.2f}x"
@@ -157,7 +156,7 @@ def test_e3_workload_near_zero_overhead():
     ratio = analyzed / baseline
     print(f"\nE3 road workload [st]: baseline {baseline:.4f}s, "
           f"analyzed {analyzed:.4f}s, overhead {ratio:.2f}x")
-    _record("e3_overhead_ratio", ratio,
+    _TRAJECTORY.record("e3_overhead_ratio", ratio,
             {"analyzed_s": analyzed, "baseline_s": baseline})
     assert ratio <= MAX_OVERHEAD_RATIO, (
         f"analyzer overhead on the no-prune E3 workload: {ratio:.2f}x"
@@ -171,43 +170,8 @@ def test_e6_rare_chain_workload_near_zero_overhead():
     ratio = analyzed / baseline
     print(f"\nE6 rare-chain workload [q-inj]: baseline {baseline:.4f}s, "
           f"analyzed {analyzed:.4f}s, overhead {ratio:.2f}x")
-    _record("e6_overhead_ratio", ratio,
+    _TRAJECTORY.record("e6_overhead_ratio", ratio,
             {"analyzed_s": analyzed, "baseline_s": baseline})
     assert ratio <= MAX_OVERHEAD_RATIO, (
         f"analyzer overhead on the no-prune E6 workload: {ratio:.2f}x"
     )
-
-
-# ----------------------------------------------------------------------
-# Perf-trajectory output (BENCH_analyze.json)
-# ----------------------------------------------------------------------
-
-_run_measurements = {}
-_RUN_TOKEN = str(time.time_ns())  # one trajectory entry per process
-
-
-def _record(name, value, extra=None):
-    _run_measurements[name] = {"value": value, **(extra or {})}
-    _flush_trajectory()
-
-
-def _flush_trajectory():
-    """Append (or refresh, within one run) this run's trajectory entry."""
-    entries = []
-    if TRAJECTORY_PATH.exists():
-        try:
-            entries = json.loads(TRAJECTORY_PATH.read_text())
-        except (ValueError, OSError):
-            entries = []
-    if not isinstance(entries, list):
-        entries = []
-    if entries and entries[-1].get("run_id") == _RUN_TOKEN:
-        entries.pop()
-    entries.append({
-        "benchmark": "analyze",
-        "schema": "perf-trajectory-v1",
-        "run_id": _RUN_TOKEN,
-        "created_unix": time.time(),
-        "measurements": _run_measurements,
-    })
-    TRAJECTORY_PATH.write_text(json.dumps(entries, indent=2) + "\n")

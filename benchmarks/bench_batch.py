@@ -23,6 +23,7 @@ import time
 
 import pytest
 
+from _trajectory import TrajectoryRecorder
 from repro.analysis.batching import (
     drop_all_caches,
     evaluate_independent,
@@ -30,6 +31,8 @@ from repro.analysis.batching import (
 )
 from repro.engine.batch import BatchExecutor, QueryBatch
 from repro.graphdb.generators import uniform_random
+
+_TRAJECTORY = TrajectoryRecorder("batch")
 
 NUM_QUERIES = 50
 NUM_LANGUAGES = 5
@@ -97,6 +100,9 @@ def test_batch_speedup_at_least_2x(num_nodes):
     ratio = independent_time / batch_time
     print(f"\nbatch n={num_nodes}: independent {independent_time:.4f}s, "
           f"batch {batch_time:.4f}s, speedup {ratio:.1f}x")
+    _TRAJECTORY.record(f"batch_speedup_x_n{num_nodes}", ratio,
+                       {"independent_s": independent_time,
+                        "batch_s": batch_time})
     assert ratio >= 2.0, (
         f"batch only {ratio:.1f}x faster than independent evaluation "
         f"on n={num_nodes}"

@@ -20,6 +20,7 @@ from collections import deque
 
 import pytest
 
+from _trajectory import TrajectoryRecorder
 from repro.graphdb.generators import two_lane_road, uniform_random
 from repro.graphdb.graph import GraphDatabase
 from repro.homomorphism.matcher import homomorphisms
@@ -29,6 +30,8 @@ from repro.queries.crpq import union_of
 from repro.queries.parser import parse_query
 from repro.regular.nfa import NFA
 from repro.semantics.evaluation import evaluate
+
+_TRAJECTORY = TrajectoryRecorder("engine_cache")
 
 E3_QUERY = parse_query("Q(x, y) :- x -[(ab)^+]-> y")
 ROAD_QUERY = parse_query("Q() :- x -[a(a+b+x)*a]-> y")
@@ -150,6 +153,8 @@ def test_engine_speedup_at_least_5x(num_nodes):
     ratio = seed_time / engine_time
     print(f"\nE3 standard n={num_nodes}: seed {seed_time:.4f}s, "
           f"engine {engine_time:.4f}s, speedup {ratio:.1f}x")
+    _TRAJECTORY.record(f"e3_standard_speedup_x_n{num_nodes}", ratio,
+                       {"seed_s": seed_time, "engine_s": engine_time})
     assert ratio >= 5.0, (
         f"engine only {ratio:.1f}x faster than seed on n={num_nodes}"
     )

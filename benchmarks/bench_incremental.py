@@ -23,10 +23,13 @@ import time
 
 import pytest
 
+from _trajectory import TrajectoryRecorder
 from repro.analysis.incremental import dynamic_update_stream, run_dynamic_stream
 from repro.analysis.qinj_pruning import rare_backbone_graph, rare_chain_workload
 from repro.engine.incremental import IncrementalRelationStore
 from repro.semantics.evaluation import evaluate
+
+_TRAJECTORY = TrajectoryRecorder("incremental")
 
 NUM_NODES = 150
 NUM_STEPS = 20
@@ -96,6 +99,9 @@ def test_incremental_speedup_at_least_5x(delta_size):
     ratio = recompute_time / incremental_time
     print(f"\nincremental Δ={delta_size}: recompute {recompute_time:.4f}s, "
           f"incremental {incremental_time:.4f}s, speedup {ratio:.1f}x")
+    _TRAJECTORY.record(f"incremental_speedup_x_delta{delta_size}", ratio,
+                       {"recompute_s": recompute_time,
+                        "incremental_s": incremental_time})
     assert ratio >= 5.0, (
         f"incremental maintenance only {ratio:.1f}x faster than "
         f"invalidate-and-recompute on the Δ={delta_size} update stream"

@@ -21,10 +21,13 @@ import time
 
 import pytest
 
+from _trajectory import TrajectoryRecorder
 from repro.analysis.batching import drop_all_caches
 from repro.analysis.join_glue import chain_query, csp_glue_evaluate
 from repro.graphdb.generators import uniform_random
 from repro.semantics.evaluation import evaluate
+
+_TRAJECTORY = TrajectoryRecorder("join")
 
 CHAIN_LENGTH = 6
 SEMANTICS = "st"
@@ -105,6 +108,8 @@ def test_join_glue_speedup_at_least_5x(num_nodes):
     ratio = csp_time / join_time
     print(f"\njoin glue n={num_nodes}: csp {csp_time:.4f}s, "
           f"join {join_time:.4f}s, speedup {ratio:.1f}x")
+    _TRAJECTORY.record(f"join_speedup_x_n{num_nodes}", ratio,
+                       {"csp_s": csp_time, "join_s": join_time})
     assert ratio >= 5.0, (
         f"join glue only {ratio:.1f}x faster than the CSP glue on "
         f"length-{CHAIN_LENGTH} chains (n={num_nodes})"

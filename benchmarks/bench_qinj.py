@@ -22,6 +22,7 @@ import time
 
 import pytest
 
+from _trajectory import TrajectoryRecorder
 from repro.analysis.batching import drop_all_caches
 from repro.analysis.qinj_pruning import (
     rare_backbone_graph,
@@ -29,6 +30,8 @@ from repro.analysis.qinj_pruning import (
     unguided_qinj_evaluate,
 )
 from repro.semantics.evaluation import evaluate
+
+_TRAJECTORY = TrajectoryRecorder("qinj")
 
 
 def _workload():
@@ -96,6 +99,9 @@ def test_guided_qinj_speedup_at_least_5x(num_nodes):
     ratio = unguided_time / guided_time
     print(f"\nq-inj guidance n={num_nodes}: unguided {unguided_time:.4f}s, "
           f"guided {guided_time:.4f}s, speedup {ratio:.1f}x")
+    _TRAJECTORY.record(f"qinj_guidance_speedup_x_n{num_nodes}", ratio,
+                       {"unguided_s": unguided_time,
+                        "guided_s": guided_time})
     assert ratio >= 5.0, (
         f"guided q-inj only {ratio:.1f}x faster than the unguided joint "
         f"search on the E8 rare-chain workload (n={num_nodes})"

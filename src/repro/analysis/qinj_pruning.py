@@ -31,6 +31,7 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass
+from functools import partial
 
 from repro.analysis.batching import drop_all_caches
 from repro.analysis.join_glue import chain_query
@@ -126,10 +127,10 @@ def run_qinj_scaling(num_nodes_list=(20, 30, 45, 60), chain_lengths=(2, 3, 4),
 
             drop_all_caches(graph)
             unguided_seconds, unguided_answers = _timed(
-                lambda: unguided_qinj_evaluate(query, graph))
+                partial(unguided_qinj_evaluate, query, graph))
             drop_all_caches(graph)
             guided_seconds, guided_answers = _timed(
-                lambda: evaluate(query, graph, "q-inj"))
+                partial(evaluate, query, graph, "q-inj"))
 
             if unguided_answers != guided_answers:
                 raise AssertionError(

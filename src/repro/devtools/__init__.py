@@ -1,0 +1,7 @@
+"""Developer tooling that ships with the repo but never runs in serving
+paths.
+
+Nothing under :mod:`repro.devtools` may be imported by the library
+proper (enforced by lintkit's own import-layering rule, which places
+``repro.devtools`` in the top layer next to the CLI).
+"""

@@ -1,0 +1,40 @@
+"""lintkit — AST-based checker for this repo's engine invariants.
+
+Seven rules encode the correctness conventions PRs 1-6 established
+(snapshot accessors, version-keyed caching, single version reads,
+decider guards, semantics exhaustiveness, import layering, lock
+discipline); see :mod:`repro.devtools.lintkit.rules` and the "Codebase
+invariants" section of ARCHITECTURE.md.
+
+Run ``python -m repro.devtools.lintkit src/repro`` (the blocking CI
+gate) or use :func:`run_paths` in-process (the self-lint test).
+"""
+
+from repro.devtools.lintkit.core import (
+    Finding,
+    LintContext,
+    Rule,
+    RunResult,
+    load_baseline,
+    register,
+    registered_rules,
+    rule_by_name,
+    run_paths,
+    write_baseline,
+)
+from repro.devtools.lintkit.report import render_json, render_text
+
+__all__ = [
+    "Finding",
+    "LintContext",
+    "Rule",
+    "RunResult",
+    "load_baseline",
+    "register",
+    "registered_rules",
+    "render_json",
+    "render_text",
+    "rule_by_name",
+    "run_paths",
+    "write_baseline",
+]

@@ -1,0 +1,8 @@
+"""Entry point for ``python -m repro.devtools.lintkit``."""
+
+import sys
+
+from repro.devtools.lintkit.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,142 @@
+"""``python -m repro.devtools.lintkit [paths]`` — the lintkit CLI.
+
+Exit codes: 0 clean (modulo baseline/suppressions), 1 new findings or
+parse errors, 2 usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.devtools.lintkit import core
+from repro.devtools.lintkit.report import render_json, render_text
+
+#: The checked-in baseline next to this package — empty by policy (fix
+#: or inline-suppress instead of grandfathering; see core docstring).
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.lintkit",
+        description="AST-based checker for this repo's engine invariants.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--select", metavar="RULES",
+        help="comma-separated rule ids/names to run (default: all)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--output", metavar="FILE",
+        help="also write the report (in --format) to FILE",
+    )
+    parser.add_argument(
+        "--baseline", metavar="FILE", default=str(DEFAULT_BASELINE),
+        help="baseline file ('none' disables; default: the shipped, "
+             "empty baseline)",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="record the current findings into --baseline and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print every registered rule with its invariant and exit",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true",
+        help="also print baselined findings in text output",
+    )
+    return parser
+
+
+def _selected_rules(spec: str | None) -> tuple[core.Rule, ...]:
+    if spec is None:
+        return core.registered_rules()
+    rules: list[core.Rule] = []
+    for token in spec.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        rule = core.rule_by_name(token)
+        if rule is None:
+            raise SystemExit(f"unknown rule: {token!r} (try --list-rules)")
+        rules.append(rule)
+    if not rules:
+        raise SystemExit("--select named no rules")
+    return tuple(rules)
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule in core.registered_rules():
+        doc = (rule.__doc__ or "").strip().splitlines()
+        headline = doc[0] if doc else ""
+        lines.append(f"{rule.rule_id}  {rule.rule_name}: {headline}")
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    try:
+        rules = _selected_rules(args.select)
+    except SystemExit as error:
+        print(error, file=sys.stderr)
+        return 2
+
+    paths = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"no such path(s): {', '.join(map(str, missing))}",
+              file=sys.stderr)
+        return 2
+
+    baseline_path: Path | None = None
+    baseline: list[tuple[str, str, str]] = []
+    if args.baseline != "none":
+        baseline_path = Path(args.baseline)
+        if not args.write_baseline:
+            try:
+                baseline = core.load_baseline(baseline_path)
+            except ValueError as error:
+                print(error, file=sys.stderr)
+                return 2
+
+    result = core.run_paths(paths, rules=rules, baseline=baseline)
+
+    if args.write_baseline:
+        if baseline_path is None:
+            print("--write-baseline requires a --baseline path",
+                  file=sys.stderr)
+            return 2
+        core.write_baseline(
+            baseline_path, result.findings + result.baselined
+        )
+        print(f"wrote {len(result.findings) + len(result.baselined)} "
+              f"finding(s) to {baseline_path}")
+        return 0
+
+    report = (
+        render_json(result) if args.format == "json"
+        else render_text(result, verbose=args.verbose)
+    )
+    print(report)
+    if args.output:
+        Path(args.output).write_text(report + "\n", encoding="utf-8")
+    return 0 if result.ok else 1

@@ -1,0 +1,378 @@
+"""The lintkit framework: findings, rules, suppressions, baselines.
+
+lintkit is a *project-specific* static checker: each rule machine-checks
+one correctness invariant that earlier PRs established by convention and
+that only differential tests guard at runtime (see the rule docstrings
+in :mod:`repro.devtools.lintkit.rules` for the originating bug class of
+each).  The framework is deliberately tiny:
+
+- a :class:`Rule` walks one parsed module and yields :class:`Finding`\\ s;
+- ``# lintkit: disable=RULE[,RULE]`` suppresses findings the rule
+  reports on that line, or on the statement directly below a contiguous
+  comment block containing it (rule ids and rule names both work);
+- a baseline file grandfathers known findings: anything recorded there
+  is reported as baselined, not new, so the checker can be introduced
+  into a tree with historical debt and still block regressions.  The
+  shipped baseline is empty — the invariants hold everywhere; keep it
+  that way and prefer an inline suppression with a justification for
+  anything intentionally exempt.
+
+Everything here is stdlib-only and imports nothing from the library
+proper, so the checker can lint a tree that does not even import.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Iterator
+
+__all__ = [
+    "Finding",
+    "LintContext",
+    "Rule",
+    "RunResult",
+    "register",
+    "registered_rules",
+    "rule_by_name",
+    "run_paths",
+    "load_baseline",
+    "write_baseline",
+]
+
+
+# ----------------------------------------------------------------------
+# Findings
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str  # repo-relative posix path when resolvable, else absolute
+    line: int
+    rule_id: str  # stable id, e.g. "LK001"
+    rule_name: str  # human name, e.g. "snapshot-discipline"
+    message: str
+
+    def render(self) -> str:
+        return (f"{self.path}:{self.line}: {self.rule_id} "
+                f"[{self.rule_name}] {self.message}")
+
+    def baseline_key(self) -> tuple[str, str, str]:
+        """Baseline identity — deliberately *line-free* so unrelated
+        edits that shift line numbers do not churn the baseline."""
+        return (self.rule_id, self.path, self.message)
+
+
+# ----------------------------------------------------------------------
+# Per-module context handed to rules
+# ----------------------------------------------------------------------
+
+
+_MODULE_ROOT = "repro"
+
+
+@dataclass
+class LintContext:
+    """One parsed module plus the location metadata rules match on."""
+
+    path: Path
+    relpath: str  # posix, relative to the scanned root's parent
+    module: str | None  # dotted module path when under a repro root
+    tree: ast.Module
+    lines: tuple[str, ...]
+    parents: dict[ast.AST, ast.AST] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, path: Path, relpath: str) -> "LintContext":
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+        parents: dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                parents[child] = parent
+        return cls(
+            path=path,
+            relpath=relpath,
+            module=_module_name(relpath),
+            tree=tree,
+            lines=tuple(source.splitlines()),
+            parents=parents,
+        )
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Lexical ancestors of ``node``, innermost first."""
+        current = self.parents.get(node)
+        while current is not None:
+            yield current
+            current = self.parents.get(current)
+
+    def enclosing_function(
+        self, node: ast.AST
+    ) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return ancestor
+        return None
+
+    def path_matches(self, *fragments: str) -> bool:
+        """True when any fragment occurs in the module's posix path."""
+        return any(fragment in self.relpath for fragment in fragments)
+
+
+def _module_name(relpath: str) -> str | None:
+    """``a/b/repro/engine/cache.py`` → ``repro.engine.cache``.
+
+    Modules outside a ``repro`` path component (fixture trees in tests
+    use the same shape) get ``None`` and are skipped by module-scoped
+    rules such as import-layering.
+    """
+    parts = Path(relpath).with_suffix("").parts
+    if _MODULE_ROOT not in parts:
+        return None
+    start = len(parts) - 1 - parts[::-1].index(_MODULE_ROOT)
+    dotted = list(parts[start:])
+    if dotted[-1] == "__init__":
+        dotted.pop()
+    return ".".join(dotted)
+
+
+# ----------------------------------------------------------------------
+# Rules and the registry
+# ----------------------------------------------------------------------
+
+
+class Rule:
+    """Base class for lintkit rules.
+
+    Subclasses set ``rule_id`` / ``rule_name`` and implement
+    :meth:`check`.  The class docstring documents the invariant and the
+    PR/bug class it encodes — ``--list-rules`` prints it.
+    """
+
+    rule_id: str = ""
+    rule_name: str = ""
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: LintContext, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            path=ctx.relpath,
+            line=getattr(node, "lineno", 1),
+            rule_id=self.rule_id,
+            rule_name=self.rule_name,
+            message=message,
+        )
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(rule_class: type[Rule]) -> type[Rule]:
+    """Class decorator adding one rule instance to the global registry."""
+    rule = rule_class()
+    if not rule.rule_id or not rule.rule_name:
+        raise ValueError(f"{rule_class.__name__} must set rule_id and rule_name")
+    if rule.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.rule_id}")
+    _REGISTRY[rule.rule_id] = rule
+    return rule_class
+
+
+def registered_rules() -> tuple[Rule, ...]:
+    """Every registered rule, ordered by id."""
+    _ensure_rules_loaded()
+    return tuple(rule for _id, rule in sorted(_REGISTRY.items()))
+
+
+def rule_by_name(name: str) -> Rule | None:
+    """Look a rule up by id (``LK003``) or name (``version-read-once``)."""
+    _ensure_rules_loaded()
+    for rule in _REGISTRY.values():
+        if name in (rule.rule_id, rule.rule_name):
+            return rule
+    return None
+
+
+def _ensure_rules_loaded() -> None:
+    # The battery registers itself on import; keep the import here so
+    # `from repro.devtools.lintkit.core import run_paths` alone works.
+    from repro.devtools.lintkit import rules as _rules  # noqa: F401
+
+
+# ----------------------------------------------------------------------
+# Suppressions
+# ----------------------------------------------------------------------
+
+_SUPPRESSION = re.compile(
+    r"#\s*lintkit:\s*disable=([A-Za-z0-9_-]+(?:\s*,\s*[A-Za-z0-9_-]+)*)"
+)
+
+
+def suppressed_rules(ctx: LintContext, line: int) -> frozenset[str]:
+    """Rule ids/names disabled on ``line`` (1-based) of the module."""
+    if not 1 <= line <= len(ctx.lines):
+        return frozenset()
+    match = _SUPPRESSION.search(ctx.lines[line - 1])
+    if match is None:
+        return frozenset()
+    return frozenset(
+        token.strip() for token in match.group(1).split(",") if token.strip()
+    )
+
+
+def _is_suppressed(ctx: LintContext, finding: Finding) -> bool:
+    """A finding is suppressed by a ``lintkit: disable`` comment on its
+    own line, or anywhere in the contiguous comment-only block directly
+    above it (where the multi-line justification lives)."""
+    names = {finding.rule_id, finding.rule_name}
+    if names & suppressed_rules(ctx, finding.line):
+        return True
+    line = finding.line - 1
+    while 1 <= line <= len(ctx.lines):
+        if not ctx.lines[line - 1].lstrip().startswith("#"):
+            return False
+        if names & suppressed_rules(ctx, line):
+            return True
+        line -= 1
+    return False
+
+
+# ----------------------------------------------------------------------
+# Baselines
+# ----------------------------------------------------------------------
+
+BASELINE_SCHEMA = "lintkit-baseline-v1"
+
+
+def load_baseline(path: Path) -> list[tuple[str, str, str]]:
+    """The grandfathered finding keys recorded in ``path``.
+
+    Missing file → empty baseline.  A malformed file is an error — a
+    silently-ignored baseline would un-grandfather everything at once.
+    """
+    if not path.exists():
+        return []
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or data.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(f"{path}: not a {BASELINE_SCHEMA} file")
+    keys: list[tuple[str, str, str]] = []
+    for entry in data.get("findings", ()):
+        keys.append((entry["rule_id"], entry["path"], entry["message"]))
+    return keys
+
+
+def write_baseline(path: Path, findings: Iterable[Finding]) -> None:
+    """Record ``findings`` as the new baseline (sorted, line-free keys)."""
+    entries = sorted(
+        {finding.baseline_key() for finding in findings}
+    )
+    payload = {
+        "schema": BASELINE_SCHEMA,
+        "findings": [
+            {"rule_id": rule_id, "path": rel, "message": message}
+            for rule_id, rel, message in entries
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def _split_baselined(
+    findings: list[Finding], baseline: list[tuple[str, str, str]]
+) -> tuple[list[Finding], list[Finding]]:
+    """Partition into (new, baselined); each baseline key absorbs at
+    most as many findings as it was recorded for (multiset semantics
+    collapse to one entry per key — good enough for grandfathering)."""
+    keys = set(baseline)
+    new: list[Finding] = []
+    old: list[Finding] = []
+    for finding in findings:
+        (old if finding.baseline_key() in keys else new).append(finding)
+    return new, old
+
+
+# ----------------------------------------------------------------------
+# The runner
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class RunResult:
+    """Outcome of one lint run over a set of paths."""
+
+    findings: list[Finding]  # new findings (not suppressed, not baselined)
+    baselined: list[Finding]
+    suppressed_count: int
+    checked_files: int
+    parse_errors: list[str]
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.parse_errors
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+def run_paths(
+    paths: Iterable[Path],
+    rules: Iterable[Rule] | None = None,
+    baseline: list[tuple[str, str, str]] | None = None,
+    root: Path | None = None,
+) -> RunResult:
+    """Lint every ``*.py`` under ``paths`` with ``rules`` (default: all).
+
+    ``root`` anchors the repo-relative paths used in reports, baselines
+    and path-scoped rules; it defaults to the current working directory
+    when the files sit below it, else paths stay absolute.
+    """
+    selected = tuple(rules) if rules is not None else registered_rules()
+    base = (root or Path.cwd()).resolve()
+    raw: list[Finding] = []
+    suppressed = 0
+    checked = 0
+    parse_errors: list[str] = []
+    contexts: list[LintContext] = []
+    for file_path in iter_python_files(paths):
+        resolved = file_path.resolve()
+        try:
+            relpath = resolved.relative_to(base).as_posix()
+        except ValueError:
+            relpath = resolved.as_posix()
+        try:
+            ctx = LintContext.parse(resolved, relpath)
+        except SyntaxError as error:
+            parse_errors.append(f"{relpath}: {error}")
+            continue
+        checked += 1
+        contexts.append(ctx)
+        for rule in selected:
+            for finding in rule.check(ctx):
+                if _is_suppressed(ctx, finding):
+                    suppressed += 1
+                else:
+                    raw.append(finding)
+    raw.sort()
+    new, old = _split_baselined(raw, baseline or [])
+    return RunResult(
+        findings=new,
+        baselined=old,
+        suppressed_count=suppressed,
+        checked_files=checked,
+        parse_errors=parse_errors,
+    )
+
+
+# Typing convenience for rules that want a node predicate.
+NodePredicate = Callable[[ast.AST], bool]

@@ -1,0 +1,60 @@
+"""Text and JSON reporters for lintkit runs."""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.devtools.lintkit.core import RunResult
+
+JSON_SCHEMA = "lintkit-report-v1"
+
+
+def render_text(result: RunResult, verbose: bool = False) -> str:
+    """Human-readable report: one line per finding plus a summary."""
+    lines = [finding.render() for finding in result.findings]
+    if verbose:
+        lines.extend(
+            f"{finding.render()} (baselined)" for finding in result.baselined
+        )
+    lines.extend(f"parse error: {error}" for error in result.parse_errors)
+    summary = (
+        f"{len(result.findings)} finding(s), "
+        f"{len(result.baselined)} baselined, "
+        f"{result.suppressed_count} suppressed, "
+        f"{result.checked_files} file(s) checked"
+    )
+    lines.append(summary if lines else f"clean: {summary}")
+    return "\n".join(lines)
+
+
+def render_json(result: RunResult) -> str:
+    """Machine-readable report (the CI artifact format)."""
+    payload: dict[str, Any] = {
+        "schema": JSON_SCHEMA,
+        "ok": result.ok,
+        "checked_files": result.checked_files,
+        "suppressed": result.suppressed_count,
+        "parse_errors": list(result.parse_errors),
+        "findings": [
+            {
+                "path": finding.path,
+                "line": finding.line,
+                "rule_id": finding.rule_id,
+                "rule_name": finding.rule_name,
+                "message": finding.message,
+            }
+            for finding in result.findings
+        ],
+        "baselined": [
+            {
+                "path": finding.path,
+                "line": finding.line,
+                "rule_id": finding.rule_id,
+                "rule_name": finding.rule_name,
+                "message": finding.message,
+            }
+            for finding in result.baselined
+        ],
+    }
+    return json.dumps(payload, indent=2)

@@ -9,23 +9,40 @@ tuples afterwards.
 
 The index is cached on the graph instance and keyed by the graph's
 mutation counter (``GraphDatabase.version``), so any ``add_node`` /
-``add_edge`` after the build transparently invalidates it.
+``add_edge`` after the build transparently invalidates it.  Because one
+index is shared across every consumer of a graph version, all returned
+containers are immutable: tuples, frozensets, and read-only mapping
+proxies.
 """
 
 from __future__ import annotations
 
+from types import MappingProxyType
+from typing import Any, Mapping
 
-def edge_sort_key(edge):
+#: ``{label: (neighbors...)}`` partition handed out by the index —
+#: a read-only view; mutating it raises ``TypeError``.
+LabelPartition = Mapping[Any, tuple[Any, ...]]
+
+
+def edge_sort_key(edge: Any) -> tuple[str, str]:
     """The deterministic expansion order used by every DFS in the repo."""
     return (repr(edge.label), repr(edge.target))
+
+
+def _as_partition(partition: dict[Any, list[Any]]) -> LabelPartition:
+    return MappingProxyType(
+        {label: tuple(neighbors) for label, neighbors in partition.items()}
+    )
 
 
 class AdjacencyIndex:
     """Pre-sorted, label-partitioned adjacency for one graph version.
 
-    All returned containers are tuples/dicts built once — callers must
-    treat them as immutable (they are shared across every consumer of
-    the same graph version).
+    All returned containers are immutable views built once — they are
+    shared across every consumer of the same graph version, so the
+    label partitions are :class:`types.MappingProxyType` instances and
+    writes to them raise.
     """
 
     __slots__ = (
@@ -41,43 +58,50 @@ class AdjacencyIndex:
         "_label_loops",
     )
 
-    _EMPTY = ()
-    _EMPTY_SET = frozenset()
+    version: int
+    nodes_sorted: tuple[Any, ...]
+    node_bit: dict[Any, int]
+    _out_sorted: dict[Any, tuple[Any, ...]]
+    _in_sorted: dict[Any, tuple[Any, ...]]
+    _out_by_label: dict[Any, LabelPartition]
+    _in_by_label: dict[Any, LabelPartition]
+    _label_sources: dict[Any, frozenset[Any]]
+    _label_targets: dict[Any, frozenset[Any]]
+    _label_loops: dict[Any, frozenset[Any]]
 
-    def __init__(self, graph):
+    _EMPTY: tuple[Any, ...] = ()
+    _EMPTY_SET: frozenset[Any] = frozenset()
+
+    def __init__(self, graph: Any) -> None:
         self.version = graph.version
         self.nodes_sorted = tuple(sorted(graph.nodes, key=repr))
         self.node_bit = {node: index for index, node in enumerate(self.nodes_sorted)}
-        out_sorted = {}
-        in_sorted = {}
-        out_by_label = {}
-        in_by_label = {}
+        out_sorted: dict[Any, tuple[Any, ...]] = {}
+        in_sorted: dict[Any, tuple[Any, ...]] = {}
+        out_by_label: dict[Any, LabelPartition] = {}
+        in_by_label: dict[Any, LabelPartition] = {}
         for node in self.nodes_sorted:
             out_edges = tuple(sorted(graph.out_edges(node), key=edge_sort_key))
             if out_edges:
                 out_sorted[node] = out_edges
-                partition = {}
+                partition: dict[Any, list[Any]] = {}
                 for edge in out_edges:
                     partition.setdefault(edge.label, []).append(edge.target)
-                out_by_label[node] = {
-                    label: tuple(targets) for label, targets in partition.items()
-                }
+                out_by_label[node] = _as_partition(partition)
             in_edges = tuple(sorted(graph.in_edges(node), key=edge_sort_key))
             if in_edges:
                 in_sorted[node] = in_edges
                 partition = {}
                 for edge in in_edges:
                     partition.setdefault(edge.label, []).append(edge.source)
-                in_by_label[node] = {
-                    label: tuple(sources) for label, sources in partition.items()
-                }
+                in_by_label[node] = _as_partition(partition)
         self._out_sorted = out_sorted
         self._in_sorted = in_sorted
         self._out_by_label = out_by_label
         self._in_by_label = in_by_label
-        label_sources = {}
-        label_targets = {}
-        label_loops = {}
+        label_sources: dict[Any, set[Any]] = {}
+        label_targets: dict[Any, set[Any]] = {}
+        label_loops: dict[Any, set[Any]] = {}
         for edge in graph.edges:
             label_sources.setdefault(edge.label, set()).add(edge.source)
             label_targets.setdefault(edge.label, set()).add(edge.target)
@@ -93,44 +117,47 @@ class AdjacencyIndex:
             label: frozenset(nodes) for label, nodes in label_loops.items()
         }
 
-    def out_sorted(self, node):
+    def out_sorted(self, node: Any) -> tuple[Any, ...]:
         """Edges leaving ``node``, sorted by :func:`edge_sort_key`."""
         return self._out_sorted.get(node, self._EMPTY)
 
-    def in_sorted(self, node):
+    def in_sorted(self, node: Any) -> tuple[Any, ...]:
         """Edges entering ``node``, sorted by :func:`edge_sort_key`."""
         return self._in_sorted.get(node, self._EMPTY)
 
-    def out_targets(self, node):
+    def out_targets(self, node: Any) -> LabelPartition | None:
         """``{label: (targets...)}`` partition of the out-edges of ``node``."""
         return self._out_by_label.get(node)
 
-    def in_sources(self, node):
+    def in_sources(self, node: Any) -> LabelPartition | None:
         """``{label: (sources...)}`` partition of the in-edges of ``node``."""
         return self._in_by_label.get(node)
 
-    def label_sources(self, label):
+    def label_sources(self, label: Any) -> frozenset[Any]:
         """Nodes with an outgoing ``label`` edge (a frozenset)."""
         return self._label_sources.get(label, self._EMPTY_SET)
 
-    def label_targets(self, label):
+    def label_targets(self, label: Any) -> frozenset[Any]:
         """Nodes with an incoming ``label`` edge (a frozenset)."""
         return self._label_targets.get(label, self._EMPTY_SET)
 
-    def label_loops(self, label):
+    def label_loops(self, label: Any) -> frozenset[Any]:
         """Nodes with a ``label`` self-loop (a frozenset)."""
         return self._label_loops.get(label, self._EMPTY_SET)
 
 
-def adjacency_index(graph):
+def adjacency_index(graph: Any) -> AdjacencyIndex:
     """Return the (possibly cached) :class:`AdjacencyIndex` for ``graph``.
 
     Rebuilt lazily whenever the graph's mutation counter has moved since
     the last build.
     """
-    cached = getattr(graph, "_engine_adjacency", None)
+    cached: AdjacencyIndex | None = getattr(graph, "_engine_adjacency", None)
     if cached is not None and cached.version == graph.version:
         return cached
     index = AdjacencyIndex(graph)
+    # lintkit: disable=LK002 -- blessed attachment point: the adjacency
+    # index is version-tagged and invalidate_engine_caches() knows the
+    # attribute; ad-hoc attachments elsewhere would not be dropped.
     graph._engine_adjacency = index
     return index

@@ -38,6 +38,7 @@ to the methods that need them (the same inversion-avoidance used by
 
 from __future__ import annotations
 
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
@@ -157,6 +158,7 @@ class BatchExecutor:
         self.graph = graph
         self.semantics = Semantics.coerce(semantics)
         self.max_workers = max_workers
+        self._lock = threading.Lock()
         self._relations = {}
         self._relations_version = graph.version
 
@@ -212,21 +214,29 @@ class BatchExecutor:
         """
         self._check_version()
         plan = self.plan(batch)
-        missing = [job for job in plan.jobs if job not in self._relations]
+        with self._lock:
+            missing = [
+                job for job in plan.jobs if job not in self._relations
+            ]
         if self._pool_size(len(missing)) > 1:
             with ThreadPoolExecutor(self._pool_size(len(missing))) as pool:
-                for job, pairs in zip(missing,
-                                      pool.map(self._compute_job, missing)):
+                computed = list(pool.map(self._compute_job, missing))
+            with self._lock:
+                for job, pairs in zip(missing, computed):
                     self._relations[job] = pairs
         else:
             for job in missing:
-                self._relations[job] = self._compute_job(job)
+                pairs = self._compute_job(job)
+                with self._lock:
+                    self._relations[job] = pairs
         return plan
 
     def _check_version(self):
-        if self._relations_version != self.graph.version:
-            self._relations = {}
-            self._relations_version = self.graph.version
+        version = self.graph.version
+        with self._lock:
+            if self._relations_version != version:
+                self._relations = {}
+                self._relations_version = version
 
     def _pool_size(self, num_units):
         if not self.max_workers or self.max_workers <= 1:
@@ -309,9 +319,15 @@ class BatchExecutor:
         (computing and memoizing it on the spot if a query sneaked in an
         atom the plan never saw)."""
         job = atom_job(atom, semantics)
-        relation = self._relations.get(job)
+        with self._lock:
+            relation = self._relations.get(job)
         if relation is None:
-            relation = self._relations[job] = self._compute_job(job)
+            # Compute outside the lock (relation building can be slow);
+            # setdefault keeps the first writer's entry if two workers
+            # race on the same job, so every caller sees one object.
+            computed = self._compute_job(job)
+            with self._lock:
+                relation = self._relations.setdefault(job, computed)
         return relation
 
     def explain(self, batch):

@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
+from typing import Any, Callable, Iterable
 
 from repro.engine.adjacency import adjacency_index
 from repro.regular.nfa import NFA
@@ -61,33 +62,33 @@ class _LRUCache:
     stalest entries once the cap is exceeded.
     """
 
-    def __init__(self, cap):
+    def __init__(self, cap: int) -> None:
         self._cap = cap
-        self._data = OrderedDict()
+        self._data: OrderedDict[Any, Any] = OrderedDict()
         self._lock = threading.Lock()
 
-    def get(self, key):
+    def get(self, key: Any) -> Any:
         with self._lock:
             value = self._data.get(key)
             if value is not None:
                 self._data.move_to_end(key)
             return value
 
-    def put(self, key, value):
+    def put(self, key: Any, value: Any) -> None:
         with self._lock:
             self._data[key] = value
             self._data.move_to_end(key)
             while len(self._data) > self._cap:
                 self._data.popitem(last=False)
 
-    def clear(self):
+    def clear(self) -> None:
         with self._lock:
             self._data.clear()
 
-    def __len__(self):
+    def __len__(self) -> int:
         return len(self._data)
 
-    def __contains__(self, key):
+    def __contains__(self, key: Any) -> bool:
         return key in self._data
 
 
@@ -95,7 +96,7 @@ _nfa_cache = _LRUCache(_NFA_CACHE_CAP)
 _reverse_cache = _LRUCache(_NFA_CACHE_CAP)
 
 
-def compiled_nfa(language, state_prefix=""):
+def compiled_nfa(language: Any, state_prefix: str = "") -> NFA:
     """Return an ε-free NFA for ``language``, memoized structurally.
 
     ``language`` may already be an NFA (returned unchanged) or a Regex.
@@ -107,23 +108,23 @@ def compiled_nfa(language, state_prefix=""):
     if not isinstance(language, Regex):
         raise TypeError(f"expected Regex or NFA, got {language!r}")
     key = (language, state_prefix)
-    nfa = _nfa_cache.get(key)
+    nfa: NFA | None = _nfa_cache.get(key)
     if nfa is None:
         nfa = NFA.from_regex(language, state_prefix=state_prefix)
         _nfa_cache.put(key, nfa)
     return nfa
 
 
-def reversed_nfa(nfa):
+def reversed_nfa(nfa: NFA) -> NFA:
     """Return ``nfa.reverse()``, memoized by automaton identity."""
-    rev = _reverse_cache.get(nfa)
+    rev: NFA | None = _reverse_cache.get(nfa)
     if rev is None:
         rev = nfa.reverse()
         _reverse_cache.put(nfa, rev)
     return rev
 
 
-def clear_compilation_caches():
+def clear_compilation_caches() -> None:
     """Drop the process-wide NFA caches (mainly for tests)."""
     _nfa_cache.clear()
     _reverse_cache.clear()
@@ -133,7 +134,7 @@ def clear_compilation_caches():
 _emptiness_cache = _LRUCache(_NFA_CACHE_CAP)
 
 
-def language_is_empty(language):
+def language_is_empty(language: Any) -> bool:
     """True iff ``language`` denotes ∅ — memoized per interned automaton.
 
     Literal :class:`~repro.regular.syntax.Empty` regexes never reach the
@@ -142,7 +143,7 @@ def language_is_empty(language):
     the planners use this check to short-circuit such atoms before any
     relation is materialized."""
     nfa = compiled_nfa(language)
-    cached = _emptiness_cache.get(nfa)
+    cached: bool | None = _emptiness_cache.get(nfa)
     if cached is None:
         cached = nfa.is_empty()
         _emptiness_cache.put(nfa, cached)
@@ -159,7 +160,7 @@ _analysis_hits = 0
 _analysis_misses = 0
 
 
-def analysis_report(key, compute):
+def analysis_report(key: Any, compute: Callable[[], Any]) -> Any:
     """Get-or-compute a static-analysis report.
 
     ``key`` is a hashable summary of the *query structure* plus the
@@ -180,7 +181,7 @@ def analysis_report(key, compute):
     return report
 
 
-def analysis_cache_stats():
+def analysis_cache_stats() -> dict[str, int]:
     """``{"hits": int, "misses": int, "entries": int}`` for the
     analysis-report cache (tests pin that reports are reused across
     graph versions)."""
@@ -192,7 +193,7 @@ def analysis_cache_stats():
         }
 
 
-def clear_analysis_cache():
+def clear_analysis_cache() -> None:
     """Drop every memoized analysis report and reset the counters."""
     global _analysis_hits, _analysis_misses
     _analysis_cache.clear()
@@ -206,17 +207,27 @@ def clear_analysis_cache():
 # ----------------------------------------------------------------------
 
 
-def _graph_cache(graph):
-    """The mutable cache dict for the graph's *current* version."""
-    cached = getattr(graph, "_engine_cache", None)
-    if cached is not None and cached[0] == graph.version:
+def _graph_cache(graph: Any) -> dict[Any, Any]:
+    """The mutable cache dict for the graph's *current* version.
+
+    ``graph.version`` is read exactly once: a second read after the
+    staleness check could observe a concurrent mutation and tag a
+    fresh store with a version newer than the state it caches.
+    """
+    version: int = graph.version
+    cached: tuple[int, dict[Any, Any]] | None = getattr(
+        graph, "_engine_cache", None
+    )
+    if cached is not None and cached[0] == version:
         return cached[1]
-    store = {}
-    graph._engine_cache = (graph.version, store)
+    store: dict[Any, Any] = {}
+    # lintkit: disable=LK002 -- this *is* the blessed attachment point
+    # every other engine module routes through.
+    graph._engine_cache = (version, store)
     return store
 
 
-def invalidate_engine_caches(graph):
+def invalidate_engine_caches(graph: Any) -> None:
     """Eagerly drop every engine cache attached to ``graph``.
 
     Mutation already invalidates lazily via the version counter; this
@@ -229,14 +240,14 @@ def invalidate_engine_caches(graph):
             pass
 
 
-def _language_key(language):
+def _language_key(language: Any) -> Any:
     # Regexes key structurally; NFAs by identity (they hash by id, and
     # the cache entry keeps the automaton alive, so ids cannot be
     # recycled while cached).
     return language
 
 
-def graph_cached(graph, key, compute):
+def graph_cached(graph: Any, key: Any, compute: Callable[[], Any]) -> Any:
     """Get-or-compute an arbitrary *immutable* value in the graph-scoped
     cache (same version-tagged store and cap-and-clear policy as the
     relation caches).  Callers must hand back values that are safe to
@@ -252,11 +263,15 @@ def graph_cached(graph, key, compute):
     return value
 
 
-def _get_or_compute(graph, key, compute):
+def _get_or_compute(
+    graph: Any, key: Any, compute: Callable[[], Iterable[Any]]
+) -> Any:
     return graph_cached(graph, key, lambda: frozenset(compute()))
 
 
-def atom_relation(graph, language, kind, compute):
+def atom_relation(
+    graph: Any, language: Any, kind: str, compute: Callable[[], Any]
+) -> Any:
     """Get-or-compute the atom relation of ``kind`` for ``language``.
 
     ``kind`` names the semantics-level relation ("standard",
@@ -278,7 +293,9 @@ def atom_relation(graph, language, kind, compute):
     return _get_or_compute(graph, (kind, _language_key(language)), compute)
 
 
-def query_result(graph, semantics, query, compute):
+def query_result(
+    graph: Any, semantics: Any, query: Any, compute: Callable[[], Any]
+) -> Any:
     """Get-or-compute a full per-disjunct evaluation result.
 
     Keyed by (semantics, query) on top of the graph version — CRPQs hash
@@ -301,7 +318,7 @@ def query_result(graph, semantics, query, compute):
     return _get_or_compute(graph, ("query", semantics, query), compute)
 
 
-def coreachable_states(graph, nfa, target):
+def coreachable_states(graph: Any, nfa: NFA, target: Any) -> frozenset[Any]:
     """Product states ``(node, state)`` that can reach ``(target, f)``
     for some final state f — computed by one backward sweep over the
     product graph (graph in-edges × :func:`reversed_nfa` transitions)
@@ -313,11 +330,11 @@ def coreachable_states(graph, nfa, target):
     """
     cache = _graph_cache(graph)
     key = ("coreach", nfa, target)
-    value = cache.get(key)
+    value: frozenset[Any] | None = cache.get(key)
     if value is None:
         index = adjacency_index(graph)
-        reverse_transitions = reversed_nfa(nfa).transitions
-        seen = {(target, final) for final in nfa.finals}
+        reverse_transitions: Any = reversed_nfa(nfa).transitions
+        seen: set[tuple[Any, Any]] = {(target, final) for final in nfa.finals}
         stack = list(seen)
         while stack:
             node, state = stack.pop()

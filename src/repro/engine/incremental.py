@@ -324,6 +324,9 @@ class IncrementalRelationStore:
         self._counts = {"built": 0, "maintained": 0, "rebuilt": 0,
                         "results_reused": 0}
         self._lock = threading.RLock()
+        # lintkit: disable=LK002 -- blessed attachment point: the store
+        # subscribes to the graph's changelog and detach() removes the
+        # attribute; this is the PR 5 maintenance contract, not a cache.
         graph._incremental_store = self
 
     # -- lifecycle -------------------------------------------------------

@@ -23,15 +23,23 @@ suite); asymptotically one product traversal plus output size.
 
 from __future__ import annotations
 
-from repro.engine.adjacency import adjacency_index
+from typing import Any, Iterator
+
+from repro.engine.adjacency import AdjacencyIndex, adjacency_index
+
+#: A ``(node, state)`` product state and its deduplicated successors.
+ProductNode = tuple[Any, Any]
+ProductAdjacency = dict[ProductNode, list[ProductNode]]
 
 
-def product_reachability_pairs(graph, nfa):
+def product_reachability_pairs(
+    graph: Any, nfa: Any
+) -> set[tuple[Any, Any]]:
     """Return ``{(u, v) : some walk u ⇝ v has label in L(nfa)}`` with the
     empty walk allowed only when u = v and ε ∈ L."""
     index = adjacency_index(graph)
     nodes = index.nodes_sorted
-    pairs = set()
+    pairs: set[tuple[Any, Any]] = set()
     if nfa.accepts(()):
         pairs.update((node, node) for node in nodes)
     if not nodes or not nfa.initials:
@@ -44,7 +52,7 @@ def product_reachability_pairs(graph, nfa):
     )
 
     finals = nfa.finals
-    final_targets = {}
+    final_targets: dict[int, set[Any]] = {}
     for product_node in adjacency:
         if product_node[1] in finals:
             component = component_of[product_node]
@@ -59,17 +67,22 @@ def product_reachability_pairs(graph, nfa):
     return pairs
 
 
-def _reachable_product(index, nfa):
+def _reachable_product(
+    index: AdjacencyIndex, nfa: Any
+) -> tuple[ProductAdjacency, list[ProductNode]]:
     """Forward-explore the product graph from every ``(u, q0)`` seed.
 
     Returns ``(adjacency, seeds)`` where ``adjacency`` maps each
     reachable product state to a deduplicated successor list.
     """
     transitions = nfa.transitions
-    seeds = [
+    seeds: list[ProductNode] = [
         (node, initial) for node in index.nodes_sorted for initial in nfa.initials
     ]
-    adjacency = {}
+    # ``None`` marks "reached, successors not yet expanded"; every entry
+    # is replaced by its successor list before the sweep returns.
+    pending: dict[ProductNode, list[ProductNode] | None] = {}
+    adjacency = pending
     stack = list(seeds)
     for seed in seeds:
         adjacency[seed] = None
@@ -78,7 +91,7 @@ def _reachable_product(index, nfa):
         if adjacency.get(product_node) is not None:
             continue
         node, state = product_node
-        successors = set()
+        successors: set[ProductNode] = set()
         targets_by_label = index.out_targets(node)
         if targets_by_label:
             for label, targets in targets_by_label.items():
@@ -94,17 +107,24 @@ def _reachable_product(index, nfa):
             if successor not in adjacency:
                 adjacency[successor] = None
                 stack.append(successor)
-    return adjacency, seeds
+    expanded: ProductAdjacency = {
+        product_node: successor_list
+        for product_node, successor_list in pending.items()
+        if successor_list is not None
+    }
+    return expanded, seeds
 
 
-def _tarjan_sccs(adjacency):
+def _tarjan_sccs(
+    adjacency: ProductAdjacency,
+) -> tuple[list[list[ProductNode]], dict[ProductNode, int]]:
     """Iterative Tarjan over ``adjacency``; components emitted sinks-first."""
-    order = {}
-    low = {}
-    on_stack = set()
-    scc_stack = []
-    components = []
-    component_of = {}
+    order: dict[ProductNode, int] = {}
+    low: dict[ProductNode, int] = {}
+    on_stack: set[ProductNode] = set()
+    scc_stack: list[ProductNode] = []
+    components: list[list[ProductNode]] = []
+    component_of: dict[ProductNode, int] = {}
     counter = 0
     for root in adjacency:
         if root in order:
@@ -137,7 +157,7 @@ def _tarjan_sccs(adjacency):
                     low[parent] = low[vertex]
             if low[vertex] == order[vertex]:
                 identifier = len(components)
-                members = []
+                members: list[ProductNode] = []
                 while True:
                     member = scc_stack.pop()
                     on_stack.discard(member)
@@ -149,7 +169,13 @@ def _tarjan_sccs(adjacency):
     return components, component_of
 
 
-def _propagate_source_masks(index, components, component_of, adjacency, seeds):
+def _propagate_source_masks(
+    index: AdjacencyIndex,
+    components: list[list[ProductNode]],
+    component_of: dict[ProductNode, int],
+    adjacency: ProductAdjacency,
+    seeds: list[ProductNode],
+) -> list[int]:
     """Flow per-component source bitmasks forward through the condensation.
 
     Tarjan emits components sinks-first, so iterating them in reverse
@@ -164,7 +190,7 @@ def _propagate_source_masks(index, components, component_of, adjacency, seeds):
         mask = masks[identifier]
         if not mask:
             continue
-        successor_components = set()
+        successor_components: set[int] = set()
         for member in components[identifier]:
             for successor in adjacency[member]:
                 successor_component = component_of[successor]
@@ -175,7 +201,7 @@ def _propagate_source_masks(index, components, component_of, adjacency, seeds):
     return masks
 
 
-def _decode_mask(mask, nodes):
+def _decode_mask(mask: int, nodes: tuple[Any, ...]) -> Iterator[Any]:
     """Yield the nodes whose bits are set in ``mask``."""
     while mask:
         low_bit = mask & -mask

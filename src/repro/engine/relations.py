@@ -14,9 +14,11 @@ relations in its shared store and feeds them in through the
 
 from __future__ import annotations
 
+from typing import Any, Iterable, Iterator, KeysView
+
 from repro.engine.cache import compiled_nfa, graph_cached
 
-_EMPTY = frozenset()
+_EMPTY: frozenset[Any] = frozenset()
 
 
 class Relation:
@@ -30,10 +32,14 @@ class Relation:
 
     __slots__ = ("pairs", "by_source", "by_target")
 
-    def __init__(self, pairs):
+    pairs: frozenset[tuple[Any, Any]]
+    by_source: dict[Any, frozenset[Any]]
+    by_target: dict[Any, frozenset[Any]]
+
+    def __init__(self, pairs: Iterable[tuple[Any, Any]]) -> None:
         pairs = frozenset(pairs)
-        by_source = {}
-        by_target = {}
+        by_source: dict[Any, set[Any]] = {}
+        by_target: dict[Any, set[Any]] = {}
         for source, target in pairs:
             by_source.setdefault(source, set()).add(target)
             by_target.setdefault(target, set()).add(source)
@@ -45,40 +51,44 @@ class Relation:
             target: frozenset(sources) for target, sources in by_target.items()
         }
 
-    def __len__(self):
+    def __len__(self) -> int:
         return len(self.pairs)
 
-    def __contains__(self, pair):
+    def __contains__(self, pair: Any) -> bool:
         return pair in self.pairs
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[tuple[Any, Any]]:
         return iter(self.pairs)
 
     @property
-    def sources(self):
+    def sources(self) -> KeysView[Any]:
         """The set of nodes with at least one outgoing pair."""
         return self.by_source.keys()
 
     @property
-    def targets(self):
+    def targets(self) -> KeysView[Any]:
         """The set of nodes with at least one incoming pair."""
         return self.by_target.keys()
 
-    def targets_of(self, source):
+    def targets_of(self, source: Any) -> frozenset[Any]:
         """{t : (source, t) ∈ R} (a frozenset, possibly empty)."""
         return self.by_source.get(source, _EMPTY)
 
-    def sources_of(self, target):
+    def sources_of(self, target: Any) -> frozenset[Any]:
         """{s : (s, target) ∈ R} (a frozenset, possibly empty)."""
         return self.by_target.get(target, _EMPTY)
 
-    def diagonal(self):
+    def diagonal(self) -> frozenset[Any]:
         """{v : (v, v) ∈ R} — a loop atom read as a unary relation."""
         return frozenset(
             source for source in self.by_source if source in self.targets_of(source)
         )
 
-    def restrict(self, sources=None, targets=None):
+    def restrict(
+        self,
+        sources: Any = None,
+        targets: Any = None,
+    ) -> frozenset[tuple[Any, Any]] | set[tuple[Any, Any]]:
         """Pairs whose endpoints survive the given node filters.
 
         ``None`` means unconstrained; the result is a plain set of pairs
@@ -104,11 +114,11 @@ class Relation:
             if sources is None or source in sources
         }
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return f"Relation({len(self.pairs)} pairs)"
 
 
-def atom_relation_index(graph, atom, semantics):
+def atom_relation_index(graph: Any, atom: Any, semantics: Any) -> Relation:
     """The indexed :class:`Relation` of one atom under st / a-inj.
 
     Cached per (graph version, relation kind, interned NFA) — the same
@@ -127,14 +137,15 @@ def atom_relation_index(graph, atom, semantics):
             f"joint search, not a join)"
         )
     nfa = compiled_nfa(atom.language)
-    return graph_cached(
+    index: Relation = graph_cached(
         graph,
         ("relation-index", kind, nfa),
         lambda: Relation(relation_by_kind(graph, nfa, kind)),
     )
+    return index
 
 
-def relation_for(graph, atom, semantics):
+def relation_for(graph: Any, atom: Any, semantics: Any) -> Relation:
     """The default ``relation_for`` hook of the planner and the q-inj
     pruning plan: the attached incremental store's *maintained* standard
     relation when one is attached and ``semantics`` wants the standard
@@ -153,7 +164,9 @@ def relation_for(graph, atom, semantics):
         semantics = Semantics.STANDARD
     store = getattr(graph, "_incremental_store", None)
     if store is not None:
-        maintained = store.maintained_relation(atom, semantics)
+        maintained: Relation | None = store.maintained_relation(
+            atom, semantics
+        )
         if maintained is not None:
             return maintained
     return atom_relation_index(graph, atom, semantics)

@@ -60,9 +60,8 @@ class NFA:
         states = {initial}
         transitions = {}
         finals = set()
-        for index, label in positions.items():
-            state = (state_prefix, index)
-            states.add(state)
+        for index in positions:
+            states.add((state_prefix, index))
         for index in first:
             label = positions[index]
             transitions.setdefault((initial, label), set()).add((state_prefix, index))
