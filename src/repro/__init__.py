@@ -33,10 +33,13 @@ Public API highlights:
 
 from repro.containment import ContainmentResult, Verdict, containment_cell, contains
 from repro.errors import (
+    EvaluationCancelled,
+    EvaluationTimeout,
     NotSupportedError,
     QuerySyntaxError,
     RegexSyntaxError,
     ReproError,
+    ResourceExhausted,
     SearchBudgetExceeded,
 )
 from repro.engine.analyze import (
@@ -49,6 +52,14 @@ from repro.engine.analyze import (
 )
 from repro.engine.incremental import IncrementalRelationStore, incremental_store
 from repro.engine.planner import explain_query
+from repro.engine.runtime import (
+    CancellationToken,
+    ExecutionContext,
+    PartialAnswers,
+    ResourceBudget,
+    active_context,
+    current_context,
+)
 from repro.graphdb import GraphDatabase, GraphDelta
 from repro.queries import CQ, CRPQ, Atom, CQAtom, parse_query, union_of
 from repro.regular import NFA, parse_regex
@@ -87,7 +98,16 @@ __all__ = [
     "ReproError",
     "RegexSyntaxError",
     "QuerySyntaxError",
+    "ResourceExhausted",
+    "EvaluationTimeout",
+    "EvaluationCancelled",
     "SearchBudgetExceeded",
     "NotSupportedError",
+    "ResourceBudget",
+    "CancellationToken",
+    "ExecutionContext",
+    "PartialAnswers",
+    "active_context",
+    "current_context",
     "__version__",
 ]

@@ -28,11 +28,25 @@ import argparse
 import sys
 
 from repro.containment.api import contains
+from repro.engine.runtime import ExecutionContext, ResourceBudget, active_context
+from repro.errors import (
+    EvaluationCancelled,
+    QuerySyntaxError,
+    RegexSyntaxError,
+    ReproError,
+    ResourceExhausted,
+)
 from repro.graphdb.graph import GraphDatabase
 from repro.queries.parser import parse_query
 from repro.semantics.base import Semantics
 from repro.semantics.evaluation import evaluate
 from repro.semantics.trails import TrailSemantics, evaluate_trails
+
+#: Exit codes: 0 success; 1 negative verdict (contains / certify);
+#: 2 argparse usage errors; then the error taxonomy below.
+EXIT_BUDGET = 3  #: resource budget exhausted / evaluation cancelled
+EXIT_INPUT = 4  #: malformed query, regex, graph, or script input
+EXIT_ERROR = 5  #: any other engine (ReproError) failure
 
 
 def load_graph(path):
@@ -86,6 +100,19 @@ def _print_answers(answers):
     print(f"# {len(answers)} answer(s)")
 
 
+def _execution_context(args):
+    """The :class:`ExecutionContext` for the command's ``--timeout`` /
+    ``--max-rows`` flags, or ``None`` when neither was given (ambient,
+    unbounded — the historical behavior)."""
+    timeout = getattr(args, "timeout", None)
+    max_rows = getattr(args, "max_rows", None)
+    if timeout is None and max_rows is None:
+        return None
+    return ExecutionContext(
+        ResourceBudget(timeout=timeout, row_cap=max_rows)
+    )
+
+
 def cmd_evaluate(args):
     graph = load_graph(args.graph)
     query = parse_query(args.query)
@@ -102,10 +129,11 @@ def cmd_evaluate(args):
         print(f"# semantics: {semantics}; graph: {graph}")
         print(explain_query(query, graph, semantics))
         return 0
-    if isinstance(semantics, TrailSemantics):
-        answers = evaluate_trails(query, graph, semantics)
-    else:
-        answers = evaluate(query, graph, semantics)
+    with active_context(_execution_context(args)):
+        if isinstance(semantics, TrailSemantics):
+            answers = evaluate_trails(query, graph, semantics)
+        else:
+            answers = evaluate(query, graph, semantics)
     print(f"# {query}")
     print(f"# semantics: {semantics}; graph: {graph}")
     _print_answers(answers)
@@ -130,7 +158,7 @@ def load_queries(path):
 
 
 def cmd_batch(args):
-    from repro.engine.batch import BatchExecutor, QueryBatch
+    from repro.engine.batch import BatchError, BatchExecutor, QueryBatch
 
     graph = load_graph(args.graph)
     semantics = _semantics_argument(args.semantics)
@@ -146,13 +174,24 @@ def cmd_batch(args):
         print(f"# graph: {graph}; semantics: {semantics}")
         print(executor.explain(batch))
         return 0
-    plan = executor.warm(batch)
-    print(f"# graph: {graph}; semantics: {semantics}")
-    print(f"# plan: {plan} "
-          f"({plan.num_shared_atoms} atom occurrence(s) shared)")
-    for index, query, answers in executor.results(batch, warmed=True):
-        print(f"# [{index + 1}] {query}")
-        _print_answers(answers)
+    with active_context(_execution_context(args)):
+        plan = executor.warm(batch)
+        print(f"# graph: {graph}; semantics: {semantics}")
+        print(f"# plan: {plan} "
+              f"({plan.num_shared_atoms} atom occurrence(s) shared)")
+        failed = 0
+        for index, query, answers in executor.results(batch, warmed=True):
+            print(f"# [{index + 1}] {query}")
+            if isinstance(answers, BatchError):
+                failed += 1
+                print(f"# error: {type(answers.error).__name__}: "
+                      f"{answers.error}")
+            else:
+                _print_answers(answers)
+    if failed:
+        print(f"# {failed} quer{'y' if failed == 1 else 'ies'} failed",
+              file=sys.stderr)
+        return EXIT_ERROR
     return 0
 
 
@@ -217,9 +256,11 @@ def cmd_update(args):
         )
     operations = load_mutations(args.mutations)
     store = IncrementalRelationStore(graph)
+    ctx = _execution_context(args)
 
     def serve(stage):
-        answers = evaluate(query, graph, semantics)
+        with active_context(ctx):
+            answers = evaluate(query, graph, semantics)
         print(f"# [{stage}] graph: {graph}")
         _print_answers(answers)
         if args.explain:
@@ -350,6 +391,18 @@ def build_parser():
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def budget_flags(subparser):
+        subparser.add_argument(
+            "--timeout", type=float, default=None, metavar="SECONDS",
+            help="wall-clock deadline for the evaluation; exceeding it "
+                 f"exits with code {EXIT_BUDGET}",
+        )
+        subparser.add_argument(
+            "--max-rows", type=int, default=None, metavar="N",
+            help="hard cap on intermediate join-table rows; exceeding "
+                 f"it exits with code {EXIT_BUDGET}",
+        )
+
     p_eval = sub.add_parser("evaluate", help="evaluate a query over a graph")
     p_eval.add_argument("query", help='e.g. "Q(x,y) :- x -[(ab)*]-> y"')
     p_eval.add_argument("graph", help="edge-list file: 'source label target'")
@@ -365,6 +418,7 @@ def build_parser():
              "pruning plan under q-inj (reduced candidate tables, "
              "variable domains, atom search order)",
     )
+    budget_flags(p_eval)
     p_eval.set_defaults(func=cmd_evaluate)
 
     p_batch = sub.add_parser(
@@ -390,6 +444,7 @@ def build_parser():
              "plan (st / a-inj) or q-inj pruning plan (warms atom "
              "relations for the size annotations, executes no query)",
     )
+    budget_flags(p_batch)
     p_batch.set_defaults(func=cmd_batch)
 
     p_upd = sub.add_parser(
@@ -413,6 +468,7 @@ def build_parser():
              "per-relation decisions (built / maintained across the "
              "delta / rebuilt, with the reason)",
     )
+    budget_flags(p_upd)
     p_upd.set_defaults(func=cmd_update)
 
     p_an = sub.add_parser(
@@ -456,9 +512,24 @@ def build_parser():
 
 
 def main(argv=None):
+    """Entry point; maps the error taxonomy onto distinct exit codes.
+
+    Expected failures print one line to stderr — a traceback appears
+    only for genuinely unexpected exceptions (bugs).
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (ResourceExhausted, EvaluationCancelled) as error:
+        print(f"repro: {error}", file=sys.stderr)
+        return EXIT_BUDGET
+    except (QuerySyntaxError, RegexSyntaxError, ValueError, OSError) as error:
+        print(f"repro: {error}", file=sys.stderr)
+        return EXIT_INPUT
+    except ReproError as error:
+        print(f"repro: {error}", file=sys.stderr)
+        return EXIT_ERROR
 
 
 if __name__ == "__main__":

@@ -539,6 +539,7 @@ class SemanticsExhaustiveness(Rule):
 LAYERS: tuple[tuple[str, int], ...] = (
     ("repro.errors", 0),
     ("repro.semantics.base", 0),
+    ("repro.engine.runtime", 1),
     ("repro.regular", 1),
     ("repro.graphdb.graph", 2),
     ("repro.graphdb.generators", 2),
@@ -782,4 +783,106 @@ class LockDiscipline(Rule):
                     dotted = _dotted(item.context_expr) or ""
                     if dotted.rsplit(".", 1)[-1] == lock:
                         return True
+        return False
+
+
+# ----------------------------------------------------------------------
+# LK008 checkpoint-discipline
+# ----------------------------------------------------------------------
+
+#: (path suffix) → names of the governed hot-loop functions in that
+#: module.  Every unbounded engine loop the execution governor bounds
+#: (ARCHITECTURE.md "Execution governor & failure model" sites table)
+#: lives in one of these functions; each must take the context and
+#: checkpoint from its loop, or deadlines/cancellation silently stop
+#: covering that loop.
+CHECKPOINTED_FUNCTIONS: dict[str, frozenset[str]] = {
+    "engine/product.py": frozenset({"_reachable_product"}),
+    "engine/planner.py": frozenset(
+        {"semijoin_reduce", "_variable_elimination", "_yannakakis"}
+    ),
+    "engine/join.py": frozenset({"natural_join"}),
+    "engine/qinj.py": frozenset({"solutions", "paths"}),
+    "engine/incremental.py": frozenset({"grow", "shrink"}),
+    "engine/batch.py": frozenset({"_entry_answers"}),
+    "graphdb/paths.py": frozenset({"simple_paths", "simple_cycles_through"}),
+}
+
+_CTX_PARAM_NAMES = frozenset({"ctx", "context"})
+
+
+@register
+class CheckpointDiscipline(Rule):
+    """Governed hot-loop functions accept the context and checkpoint.
+
+    **Origin: PR 8 (execution governor).**  Deadlines, cancellation,
+    and resource budgets are *cooperative*: they only bound a loop that
+    calls ``ExecutionContext.checkpoint(site)``.  The registered
+    functions in :data:`CHECKPOINTED_FUNCTIONS` are the engine's
+    unbounded loops (worst-case exponential under the paper's
+    complexity results); each must declare a ``ctx`` (or ``context``)
+    parameter and contain a ``checkpoint(...)`` call somewhere in its
+    body (nested helpers count — the call just has to be lexically
+    inside).  A registered function that loses either — or disappears
+    entirely, e.g. via a rename that forgets this table — is flagged,
+    so a refactor cannot silently open an ungovernable loop.
+    """
+
+    rule_id = "LK008"
+    rule_name = "checkpoint-discipline"
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        required: frozenset[str] | None = None
+        for suffix, names in CHECKPOINTED_FUNCTIONS.items():
+            if ctx.relpath.endswith(suffix):
+                required = names
+                break
+        if required is None:
+            return
+        seen: set[str] = set()
+        for function in _functions(ctx.tree):
+            if function.name not in required:
+                continue
+            seen.add(function.name)
+            if not self._takes_context(function):
+                yield self.finding(
+                    ctx, function,
+                    f"{function.name}() is a governed hot loop but takes no "
+                    f"'ctx' / 'context' parameter — it must accept the "
+                    f"ExecutionContext (PR 8 checkpoint discipline)",
+                )
+            if not self._calls_checkpoint(function):
+                yield self.finding(
+                    ctx, function,
+                    f"{function.name}() is a governed hot loop but never "
+                    f"calls checkpoint() — deadlines and cancellation "
+                    f"cannot bound it (PR 8 checkpoint discipline)",
+                )
+        missing = required - seen
+        if missing and ctx.tree.body:
+            yield self.finding(
+                ctx, ctx.tree.body[0],
+                f"governed hot-loop function(s) {', '.join(sorted(missing))} "
+                f"not found in this module — update the "
+                f"CHECKPOINTED_FUNCTIONS registry alongside the rename "
+                f"(PR 8 checkpoint discipline)",
+            )
+
+    @staticmethod
+    def _takes_context(function: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+        arguments = function.args
+        every = (
+            list(arguments.posonlyargs)
+            + list(arguments.args)
+            + list(arguments.kwonlyargs)
+        )
+        return any(argument.arg in _CTX_PARAM_NAMES for argument in every)
+
+    @staticmethod
+    def _calls_checkpoint(
+        function: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> bool:
+        for node in ast.walk(function):
+            if isinstance(node, ast.Call) and _call_name(node) == "checkpoint":
+                return True
         return False

@@ -43,7 +43,43 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
 from repro.engine.cache import compiled_nfa, query_result
+from repro.engine.runtime import (
+    active_context,
+    checkpoint_site,
+    current_context,
+    resolve_context,
+)
+from repro.errors import EvaluationCancelled, ResourceExhausted
 from repro.semantics.base import Semantics
+
+SITE_BATCH_ENTRY = checkpoint_site(
+    "batch.entry", "batch query evaluation (per analyzed disjunct)"
+)
+
+
+@dataclass(frozen=True)
+class BatchError:
+    """The structured error entry of one failed batch query.
+
+    Yielded by :meth:`BatchExecutor.results` in the failed query's
+    input-order slot; the remaining queries keep flowing.  Falsy (so
+    ``if answers:`` style consumers treat it as "no answers") and
+    iterable-as-empty, which keeps set-shaped consumers sound.
+    """
+
+    index: int
+    query: object
+    error: BaseException
+
+    def __bool__(self):
+        return False
+
+    def __iter__(self):
+        return iter(())
+
+    def __str__(self):
+        return (f"query {self.index} failed: "
+                f"{type(self.error).__name__}: {self.error}")
 
 
 @dataclass(frozen=True)
@@ -211,6 +247,14 @@ class BatchExecutor:
 
         Returns the :class:`BatchPlan`.  Relations already in the store
         (from a previous batch over the same graph version) are skipped.
+
+        Fault isolation: a job that fails with an ordinary exception is
+        simply *not stored* — the queries needing it fail individually
+        at lookup time (:meth:`_stored_relation`) and every other query
+        keeps its warmed relations.  Budget/cancellation exceptions
+        abort the warm-up as a whole, publishing nothing from the
+        failed pass (relations are only stored once fully computed, so
+        an interrupt can never publish partial data into the store).
         """
         self._check_version()
         plan = self.plan(batch)
@@ -218,18 +262,36 @@ class BatchExecutor:
             missing = [
                 job for job in plan.jobs if job not in self._relations
             ]
+        ctx = current_context()
         if self._pool_size(len(missing)) > 1:
             with ThreadPoolExecutor(self._pool_size(len(missing))) as pool:
-                computed = list(pool.map(self._compute_job, missing))
+                computed = list(
+                    pool.map(lambda job: self._guarded_job(job, ctx), missing)
+                )
             with self._lock:
                 for job, pairs in zip(missing, computed):
-                    self._relations[job] = pairs
+                    if pairs is not None:
+                        self._relations[job] = pairs
         else:
             for job in missing:
-                pairs = self._compute_job(job)
-                with self._lock:
-                    self._relations[job] = pairs
+                pairs = self._guarded_job(job, ctx)
+                if pairs is not None:
+                    with self._lock:
+                        self._relations[job] = pairs
         return plan
+
+    def _guarded_job(self, job, ctx):
+        """Compute one atom relation under the batch's execution context
+        (re-activated explicitly: context variables do not propagate
+        into pool worker threads).  Ordinary failures warm nothing for
+        this job; governor interrupts propagate."""
+        try:
+            with active_context(ctx):
+                return self._compute_job(job)
+        except (ResourceExhausted, EvaluationCancelled):
+            raise
+        except Exception:
+            return None
 
     def _check_version(self):
         version = self.graph.version
@@ -265,38 +327,91 @@ class BatchExecutor:
     # Execution
     # ------------------------------------------------------------------
 
-    def execute(self, batch):
+    def execute(self, batch, on_budget="raise"):
         """Evaluate the whole batch; one frozenset of answer tuples per
-        query, in input order."""
-        return [answers for _index, _query, answers in self.results(batch)]
+        query, in input order.  A query that fails contributes a
+        :class:`BatchError` in its slot instead of aborting the batch
+        (see :meth:`results` for the ``on_budget`` contract)."""
+        return [
+            answers
+            for _index, _query, answers in self.results(
+                batch, on_budget=on_budget
+            )
+        ]
 
-    def results(self, batch, warmed=False):
+    def results(self, batch, warmed=False, on_budget="raise"):
         """Yield ``(index, query, answers)`` in input order as each
         query completes (the streaming interface behind the CLI's
         ``batch`` command).  ``warmed=True`` skips the warm-up pass for
         callers that already ran :meth:`warm` on this batch (the CLI
         warms once to print the plan, then streams); the version check
         still runs, so a graph mutated between the calls drops the
-        stale store and the relations recompute lazily."""
-        if warmed:
-            self._check_version()
-        else:
-            self.warm(batch)
+        stale store and the relations recompute lazily.
+
+        Fault isolation: one poisoned query never takes down the batch.
+        A query whose evaluation raises an ordinary exception yields a
+        :class:`BatchError` in its input-order slot and the remaining
+        queries keep flowing.  Budget / cancellation exceptions follow
+        ``on_budget``: ``"raise"`` (default) aborts the whole batch by
+        propagating, ``"partial"`` converts them to :class:`BatchError`
+        entries as well (after exhaustion, every remaining query
+        typically trips the same limit at its first checkpoint).
+        """
+        if on_budget not in ("raise", "partial"):
+            raise ValueError(
+                f"on_budget must be 'raise' or 'partial', got {on_budget!r}"
+            )
+        try:
+            if warmed:
+                self._check_version()
+            else:
+                self.warm(batch)
+        except (ResourceExhausted, EvaluationCancelled):
+            if on_budget == "raise":
+                raise
+            # Exhausted during warm-up: fall through and let each entry
+            # report its own structured error (nothing partial was
+            # published into the store).
         entries = batch.entries
+        ctx = current_context()
         pool_size = self._pool_size(len(entries))
         if pool_size > 1:
             with ThreadPoolExecutor(pool_size) as pool:
-                answer_stream = pool.map(self._entry_answers, entries)
+                answer_stream = pool.map(
+                    lambda indexed: self._entry_result(
+                        indexed[0], indexed[1], ctx, on_budget
+                    ),
+                    enumerate(entries),
+                )
                 for index, (entry, answers) in enumerate(
                         zip(entries, answer_stream)):
                     yield index, entry[0], answers
         else:
             for index, entry in enumerate(entries):
-                yield index, entry[0], self._entry_answers(entry)
+                yield index, entry[0], self._entry_result(
+                    index, entry, ctx, on_budget
+                )
 
-    def _entry_answers(self, entry):
+    def _entry_result(self, index, entry, ctx, on_budget):
+        """One isolated query evaluation: its answers, or the
+        structured :class:`BatchError` carrying what went wrong.  The
+        batch's execution context is re-activated explicitly — context
+        variables do not propagate into pool worker threads."""
+        try:
+            with active_context(ctx):
+                return self._entry_answers(entry, ctx)
+        except (ResourceExhausted, EvaluationCancelled) as error:
+            if on_budget == "raise":
+                raise
+            return BatchError(index=index, query=entry[0], error=error)
+        except Exception as error:
+            return BatchError(index=index, query=entry[0], error=error)
+
+    def _entry_answers(self, entry, ctx=None):
+        ctx = resolve_context(ctx)
         answers = set()
         for disjunct in self._analyzed(entry):
+            ctx.checkpoint(SITE_BATCH_ENTRY)
             answers |= self._disjunct_answers(disjunct)
         return frozenset(answers)
 

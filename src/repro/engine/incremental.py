@@ -68,6 +68,14 @@ from collections import OrderedDict
 
 from repro.engine.cache import compiled_nfa, reversed_nfa
 from repro.engine.relations import Relation
+from repro.engine.runtime import checkpoint_site, resolve_context
+
+SITE_INCREMENTAL_GROW = checkpoint_site(
+    "incremental.grow", "semi-naive insert propagation (per worklist pop)"
+)
+SITE_INCREMENTAL_SHRINK = checkpoint_site(
+    "incremental.shrink", "deletion dirty-region repair (per product state)"
+)
 
 #: Removed-edge budget for in-place repair.  Past it the relation is
 #: rebuilt from scratch — repairing a huge deletion would touch most of
@@ -143,8 +151,9 @@ class MaintainedRelation:
 
     # -- insert-only maintenance ----------------------------------------
 
-    def grow(self, graph, added_nodes, added_edges):
+    def grow(self, graph, added_nodes, added_edges, ctx=None):
         """Semi-naive frontier expansion from the new nodes/edges only."""
+        ctx = resolve_context(ctx)
         nfa = self.nfa
         transitions = nfa.transitions
         finals = nfa.finals
@@ -171,6 +180,7 @@ class MaintainedRelation:
                     raise_mask((edge.target, next_state), mask)
 
         while pending:
+            ctx.checkpoint(SITE_INCREMENTAL_GROW)
             (node, state), bits = pending.pop()
             if state in finals:
                 self._gain_targets(node, bits)
@@ -183,7 +193,7 @@ class MaintainedRelation:
 
     # -- deletion repair -------------------------------------------------
 
-    def shrink(self, graph, removed_edges):
+    def shrink(self, graph, removed_edges, ctx=None):
         """Repair the dirty region downstream of the removed edges.
 
         Sound for mixed deltas when run *before* :meth:`grow`: the dirty
@@ -191,7 +201,12 @@ class MaintainedRelation:
         product edges), repaired masks are the exact fixpoint given the
         untouched exterior, and any growth the added edges owe the
         exterior is delivered by the subsequent ``grow`` worklist.
+
+        An interrupt (deadline/cancellation) mid-repair leaves this
+        object inconsistent; the owning store drops the state on any
+        maintenance exception so the next access rebuilds from scratch.
         """
+        ctx = resolve_context(ctx)
         nfa = self.nfa
         transitions = nfa.transitions
         reverse_transitions = reversed_nfa(nfa).transitions
@@ -218,6 +233,7 @@ class MaintainedRelation:
 
         # 2. Forward closure over the old product graph.
         while stack:
+            ctx.checkpoint(SITE_INCREMENTAL_SHRINK)
             node, state = stack.pop()
             out_edges = list(graph.out_edges(node)) + removed_out.get(node, [])
             for edge in out_edges:
@@ -265,6 +281,7 @@ class MaintainedRelation:
             if mask:
                 raise_mask(state, mask)
         while pending:
+            ctx.checkpoint(SITE_INCREMENTAL_SHRINK)
             (node, state), bits = pending.pop()
             if state in finals:
                 self._gain_targets(node, bits)
@@ -477,7 +494,15 @@ class IncrementalRelationStore:
                 while len(self._states) > self.max_relations:
                     self._states.popitem(last=False)
             elif state.version != graph.version:
-                self._refresh(state)
+                try:
+                    self._refresh(state)
+                except BaseException:
+                    # A deadline/cancellation/injected fault mid-repair
+                    # leaves the maintained masks inconsistent.  Never
+                    # keep such a state: drop it so the next access
+                    # rebuilds from scratch (always sound).
+                    self._states.pop(nfa, None)
+                    raise
             self._states.move_to_end(nfa)
             return state
 

@@ -19,6 +19,12 @@ out of the same algebra.
 
 from __future__ import annotations
 
+from repro.engine.runtime import checkpoint_site, resolve_context
+
+SITE_JOIN = checkpoint_site(
+    "join.natural-join", "hash-join materialization (per call + row cap)"
+)
+
 _EMPTY_ROWS = frozenset()
 TRUE_RELATION_ROWS = frozenset({()})
 
@@ -92,12 +98,16 @@ def semijoin(left, right):
     )
 
 
-def natural_join(left, right):
+def natural_join(left, right, ctx=None):
     """``left ⋈ right`` by hash join on the shared variables.
 
     Output variables are ``left.variables`` followed by the right-only
     variables; with no shared variables this is the cartesian product.
+    The execution context bounds the output: one checkpoint per call
+    plus a row-cap check on the materialized result.
     """
+    ctx = resolve_context(ctx)
+    ctx.checkpoint(SITE_JOIN)
     left_positions, right_positions = _shared_positions(left, right)
     right_only = [
         i for i, v in enumerate(right.variables) if v not in set(left.variables)
@@ -114,6 +124,7 @@ def natural_join(left, right):
     for row in left.rows:
         for extension in index.get(_key(row, left_positions), ()):
             rows.append(row + extension)
+    ctx.check_rows(len(rows), SITE_JOIN)
     return TupleRelation(variables, rows)
 
 

@@ -42,12 +42,25 @@ from repro.engine.join import (
 )
 from repro.engine.relations import Relation
 from repro.engine.relations import relation_for as default_relation_for
+from repro.engine.runtime import checkpoint_site, resolve_context
 
 #: Row budget for one intermediate relation during variable elimination
 #: on a cyclic component.  Past it, the component falls back to the
 #: backtracking matcher over the semijoin-reduced tables (tests shrink
-#: this to force the fallback).
+#: this to force the fallback).  An explicit
+#: :class:`~repro.engine.runtime.ResourceBudget` row cap is checked
+#: *first* and raises instead of falling back.
 ELIMINATION_ROW_CAP = 200_000
+
+SITE_PLANNER_REDUCE = checkpoint_site(
+    "planner.reduce", "semijoin-reduction fixpoint (per table per pass)"
+)
+SITE_PLANNER_YANNAKAKIS = checkpoint_site(
+    "planner.yannakakis", "Yannakakis semijoin/join passes (per tree edge)"
+)
+SITE_PLANNER_ELIMINATE = checkpoint_site(
+    "planner.eliminate", "variable-elimination joins (per intermediate join)"
+)
 
 
 class EliminationOverflow(Exception):
@@ -59,7 +72,7 @@ class EliminationOverflow(Exception):
 # ----------------------------------------------------------------------
 
 
-def semijoin_reduce(tables):
+def semijoin_reduce(tables, ctx=None):
     """Arc-consistent fixpoint: every table keeps only rows whose
     values survive in *every* other table mentioning the variable.
     Returns the reduced tables, or ``None`` when one empties.
@@ -68,11 +81,13 @@ def semijoin_reduce(tables):
     pruning plan (:mod:`repro.engine.qinj`), which reduces the standard
     over-approximation tables before its guided joint search.
     """
+    ctx = resolve_context(ctx)
     changed = True
     while changed:
         changed = False
         domains = {}
         for table in tables:
+            ctx.checkpoint(SITE_PLANNER_REDUCE)
             for variable in table.variables:
                 column = table.column(variable)
                 if variable in domains:
@@ -271,13 +286,14 @@ class JoinPlan:
         """The disjunct's answer set: a set of head tuples."""
         if self.empty_reason is not None:
             return frozenset()
+        ctx = resolve_context(None)
         result = true_relation()
         for component in self.components:
-            rows = self._component_rows(component)
+            rows = self._component_rows(component, ctx)
             if rows.is_empty():
                 return frozenset()
             if rows.variables:
-                result = natural_join(result, rows)
+                result = natural_join(result, rows, ctx)
         positions = {v: i for i, v in enumerate(result.variables)}
         head = self.query.head
         return frozenset(
@@ -297,8 +313,10 @@ class JoinPlan:
         """
         if self.empty_reason is not None:
             return False
+        ctx = resolve_context(None)
         return all(
-            not self._component_rows(component, exists_only=True).is_empty()
+            not self._component_rows(component, ctx,
+                                     exists_only=True).is_empty()
             for component in self.components
         )
 
@@ -321,7 +339,8 @@ class JoinPlan:
         )
         return from_binary(pairs, atom.source, atom.target)
 
-    def _component_rows(self, component, exists_only=False):
+    def _component_rows(self, component, ctx=None, exists_only=False):
+        ctx = resolve_context(ctx)
         if component.kind == ComponentPlan.DOMAIN:
             (variable,) = component.variables
             allowed = self._allowed_values(variable)
@@ -337,11 +356,12 @@ class JoinPlan:
         if any(table.is_empty() for table in tables.values()):
             return TupleRelation(component.out_vars, ())
         if component.kind == ComponentPlan.ACYCLIC:
-            return self._yannakakis(component, tables, exists_only)
-        return self._eliminate_cyclic(component, tables, exists_only)
+            return self._yannakakis(component, tables, ctx, exists_only)
+        return self._eliminate_cyclic(component, tables, ctx, exists_only)
 
-    def _yannakakis(self, component, tables, exists_only=False):
+    def _yannakakis(self, component, tables, ctx=None, exists_only=False):
         """Full reducer + bottom-up join over the GYO join tree."""
+        ctx = resolve_context(ctx)
         post_order = []
         stack = [component.root]
         while stack:  # iterative DFS; reversed visit order is post-order
@@ -354,6 +374,7 @@ class JoinPlan:
         for node in post_order:
             if node == component.root:
                 continue
+            ctx.checkpoint(SITE_PLANNER_YANNAKAKIS)
             parent_id = component.parent[node]
             tables[parent_id] = semijoin(tables[parent_id], tables[node])
             if tables[parent_id].is_empty():
@@ -364,6 +385,7 @@ class JoinPlan:
         # Downward semijoins: parents reduce children, root first.
         for node in reversed(post_order):
             for child in component.children.get(node, ()):
+                ctx.checkpoint(SITE_PLANNER_YANNAKAKIS)
                 tables[child] = semijoin(tables[child], tables[node])
         # Bottom-up join, projecting onto head variables + connectors.
         out_set = set(component.out_vars)
@@ -371,7 +393,8 @@ class JoinPlan:
         for node in post_order:
             acc = tables[node]
             for child in component.children.get(node, ()):
-                acc = natural_join(acc, results[child])
+                ctx.checkpoint(SITE_PLANNER_YANNAKAKIS)
+                acc = natural_join(acc, results[child], ctx)
             if node == component.root:
                 keep = component.out_vars
             else:
@@ -387,19 +410,22 @@ class JoinPlan:
             results[node] = project(acc, keep)
         return results[component.root]
 
-    def _eliminate_cyclic(self, component, tables, exists_only=False):
-        reduced = semijoin_reduce(list(tables.values()))
+    def _eliminate_cyclic(self, component, tables, ctx=None,
+                          exists_only=False):
+        ctx = resolve_context(ctx)
+        reduced = semijoin_reduce(list(tables.values()), ctx)
         if reduced is None:
             return TupleRelation(component.out_vars, ())
         out_vars = () if exists_only else component.out_vars
         try:
             return self._variable_elimination(component, list(reduced),
-                                              out_vars)
+                                              out_vars, ctx)
         except EliminationOverflow:
             return self._matcher_fallback(component, reduced, out_vars,
                                           exists_only=exists_only)
 
-    def _variable_elimination(self, component, tables, out_vars):
+    def _variable_elimination(self, component, tables, out_vars, ctx=None):
+        ctx = resolve_context(ctx)
         eliminate = list(component.elimination_order)
         # In existence mode the head variables are eliminated too (the
         # planned order omits them), leaving a nullary verdict.
@@ -412,14 +438,16 @@ class JoinPlan:
                 continue
             acc = involved[0]
             for table in involved[1:]:
-                acc = natural_join(acc, table)
+                ctx.checkpoint(SITE_PLANNER_ELIMINATE)
+                acc = natural_join(acc, table, ctx)
                 if len(acc) > ELIMINATION_ROW_CAP:
                     raise EliminationOverflow
             keep = tuple(v for v in acc.variables if v != variable)
             tables = rest + [project(acc, keep)]
         acc = true_relation()
         for table in tables:
-            acc = natural_join(acc, table)
+            ctx.checkpoint(SITE_PLANNER_ELIMINATE)
+            acc = natural_join(acc, table, ctx)
             if len(acc) > ELIMINATION_ROW_CAP:
                 raise EliminationOverflow
         return project(acc, out_vars)

@@ -23,20 +23,26 @@ suite); asymptotically one product traversal plus output size.
 
 from __future__ import annotations
 
-from typing import Any, Iterator
+from typing import Any, Iterator, Optional
 
 from repro.engine.adjacency import AdjacencyIndex, adjacency_index
+from repro.engine.runtime import ExecutionContext, checkpoint_site, resolve_context
 
 #: A ``(node, state)`` product state and its deduplicated successors.
 ProductNode = tuple[Any, Any]
 ProductAdjacency = dict[ProductNode, list[ProductNode]]
 
+SITE_PRODUCT_SWEEP = checkpoint_site(
+    "product.sweep", "product-reachability forward exploration (per stack pop)"
+)
+
 
 def product_reachability_pairs(
-    graph: Any, nfa: Any
+    graph: Any, nfa: Any, ctx: Optional[ExecutionContext] = None
 ) -> set[tuple[Any, Any]]:
     """Return ``{(u, v) : some walk u ⇝ v has label in L(nfa)}`` with the
     empty walk allowed only when u = v and ε ∈ L."""
+    ctx = resolve_context(ctx)
     index = adjacency_index(graph)
     nodes = index.nodes_sorted
     pairs: set[tuple[Any, Any]] = set()
@@ -45,7 +51,7 @@ def product_reachability_pairs(
     if not nodes or not nfa.initials:
         return pairs
 
-    adjacency, seeds = _reachable_product(index, nfa)
+    adjacency, seeds = _reachable_product(index, nfa, ctx)
     components, component_of = _tarjan_sccs(adjacency)
     masks = _propagate_source_masks(
         index, components, component_of, adjacency, seeds
@@ -68,13 +74,14 @@ def product_reachability_pairs(
 
 
 def _reachable_product(
-    index: AdjacencyIndex, nfa: Any
+    index: AdjacencyIndex, nfa: Any, ctx: Optional[ExecutionContext] = None
 ) -> tuple[ProductAdjacency, list[ProductNode]]:
     """Forward-explore the product graph from every ``(u, q0)`` seed.
 
     Returns ``(adjacency, seeds)`` where ``adjacency`` maps each
     reachable product state to a deduplicated successor list.
     """
+    ctx = resolve_context(ctx)
     transitions = nfa.transitions
     seeds: list[ProductNode] = [
         (node, initial) for node in index.nodes_sorted for initial in nfa.initials
@@ -87,6 +94,7 @@ def _reachable_product(
     for seed in seeds:
         adjacency[seed] = None
     while stack:
+        ctx.checkpoint(SITE_PRODUCT_SWEEP)
         product_node = stack.pop()
         if adjacency.get(product_node) is not None:
             continue

@@ -52,13 +52,23 @@ from repro.engine.cache import compiled_nfa, graph_cached, language_is_empty
 from repro.engine.join import TupleRelation
 from repro.engine.planner import semijoin_reduce
 from repro.engine.relations import Relation, relation_for
+from repro.engine.runtime import checkpoint_site, resolve_context
 from repro.graphdb.paths import simple_cycles_through, simple_paths
 from repro.semantics.base import Semantics
 
 #: Per-endpoint-pair budget of cached witness paths.  Past it the entry
 #: stops caching and consumers fall back to direct (uncached)
-#: re-enumeration — bounded memory, unchanged answers.
+#: re-enumeration — bounded memory, unchanged answers.  An explicit
+#: :class:`~repro.engine.runtime.ResourceBudget` witness cap separately
+#: bounds total *consumption* per evaluation and raises instead.
 WITNESS_PATH_CAP = 512
+
+SITE_QINJ_SEARCH = checkpoint_site(
+    "qinj.search", "q-inj joint backtracking search (per place() branch)"
+)
+SITE_QINJ_WITNESS = checkpoint_site(
+    "qinj.witness", "lazy witness replay/enumeration (per path position)"
+)
 
 
 # ----------------------------------------------------------------------
@@ -113,13 +123,30 @@ class LazyWitnesses:
             if self._exhausted or self._overflowed:
                 return
             if self._source is None:
-                self._source = self._factory()
+                # Fresh (or resynced) run.  After an interrupted run the
+                # cache holds a valid prefix; skip it so the new iterator
+                # continues exactly where the cache ends.
+                source = self._factory()
+                for _ in range(len(self._cache)):
+                    if next(source, None) is None:
+                        self._exhausted = True
+                        return
+                self._source = source
             try:
                 item = next(self._source)
             except StopIteration:
                 self._exhausted = True
                 self._source = None
                 return
+            except BaseException:
+                # A deadline/cancellation/injected fault propagating
+                # through the underlying search kills the generator; a
+                # dead generator raises StopIteration forever, which
+                # would falsely mark this shared entry exhausted.  Drop
+                # the iterator — the cached prefix stays valid and the
+                # next consumer resyncs a fresh run past it.
+                self._source = None
+                raise
             self._cache.append(item)
             if len(self._cache) >= self._cap:
                 # Peek once before declaring overflow: an entry with
@@ -133,19 +160,25 @@ class LazyWitnesses:
                     next(self._source)
                 except StopIteration:
                     self._exhausted = True
+                    self._source = None
+                except BaseException:
+                    self._source = None
+                    raise
                 else:
                     self._overflowed = True
-                self._source = None
+                    self._source = None
 
-    def paths(self, forbidden=frozenset()):
+    def paths(self, forbidden=frozenset(), ctx=None):
         """Yield the witness paths avoiding ``forbidden`` entirely.
 
         Equivalent to the direct constrained search (``forbidden`` only
         removes paths from the deterministic unconstrained enumeration,
         it never reorders the survivors).
         """
+        ctx = resolve_context(ctx)
         position = 0
         while True:
+            ctx.checkpoint(SITE_QINJ_WITNESS)
             with self._lock:
                 self._ensure(position)
                 if position < len(self._cache):
@@ -163,6 +196,7 @@ class LazyWitnesses:
             if next(fresh, None) is None:
                 return
         for path in fresh:
+            ctx.checkpoint(SITE_QINJ_WITNESS)
             if forbidden.isdisjoint(path.nodes):
                 yield path
 
@@ -247,13 +281,14 @@ class QinjPlan:
             return True
         return False
 
-    def solutions(self):
+    def solutions(self, ctx=None):
         """Yield injective assignments μ : vars(Q) → V(G) such that every
         atom has a simple-path (simple-cycle for loop atoms) witness with
         fresh internal nodes — the same solution set as the unguided
         search, enumerated over the reduced candidate space only."""
         if self.empty_reason is not None:
             return
+        ctx = resolve_context(ctx)
         graph = self.graph
         atoms, nfas = self.atoms, self.nfas
         tables, domains, order = self.tables, self.domains, self.order
@@ -302,6 +337,7 @@ class QinjPlan:
             used.discard(mu.pop(variable))
 
         def place(depth):
+            ctx.checkpoint(SITE_QINJ_SEARCH)
             if depth == len(order):
                 yield from place_free()
                 return
@@ -319,7 +355,8 @@ class QinjPlan:
                         continue
                     forbidden = frozenset((used | internal) - {node})
                     witnesses = _witnesses("cycle", nfa, node)
-                    for path in witnesses.paths(forbidden):
+                    for path in witnesses.paths(forbidden, ctx):
+                        ctx.consume_witnesses(1, SITE_QINJ_SEARCH)
                         internals = set(path.internal_nodes())
                         internal.update(internals)
                         yield from place(depth + 1)
@@ -353,7 +390,8 @@ class QinjPlan:
                         (used | internal) - {source, target}
                     )
                     witnesses = _witnesses("path", nfa, source, target)
-                    for path in witnesses.paths(forbidden):
+                    for path in witnesses.paths(forbidden, ctx):
+                        ctx.consume_witnesses(1, SITE_QINJ_SEARCH)
                         internals = set(path.internal_nodes())
                         internal.update(internals)
                         yield from place(depth + 1)

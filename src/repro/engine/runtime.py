@@ -1,0 +1,342 @@
+"""Execution governor: budgets, deadlines, cooperative cancellation.
+
+Every unbounded engine loop (product-reachability sweep, Yannakakis
+passes, variable elimination, q-inj backtracking, witness enumeration,
+incremental repair, batch jobs, simple-path DFS) calls
+:meth:`ExecutionContext.checkpoint` with a registered site id.  A
+checkpoint is an amortized guard: a cheap per-context counter on every
+hit, a *real* check (cancellation token, wall-clock deadline, step cap)
+every :data:`CHECK_INTERVAL` hits.  Budgets therefore bound work to
+within one interval of the configured limit — exact enforcement is not
+a goal; bounded staleness is.
+
+Contexts flow two ways:
+
+- **ambiently** via a :mod:`contextvars` variable — ``current_context()``
+  returns the active context, or a shared unbounded default when none
+  has been activated.  ``active_context(ctx)`` installs one for a
+  ``with`` block.  Thread pools do **not** inherit context variables, so
+  the batch executor re-activates its context inside each worker.
+- **explicitly** via an optional ``ctx`` parameter on registered
+  hot-loop functions (the LK008 checkpoint-discipline surface), resolved
+  through :func:`resolve_context`.
+
+A single context may be shared across worker threads: the tick counter
+is updated without a lock (ticks may be lost under races, which only
+delays a real check by a bounded amount), while the cancellation token
+is a proper :class:`threading.Event`.
+
+Failure model: an interrupted evaluation raises one of the
+:class:`~repro.errors.ResourceExhausted` family out of a checkpoint and
+must never publish partial data into a version-keyed cache — every
+cache population site computes fully, then publishes (see
+ARCHITECTURE.md, "Execution governor & failure model").  The
+fault-injection harness (:mod:`repro.devtools.faultinject`) proves this
+by interrupting at the Nth hit of any registered site and differentially
+comparing post-interrupt re-evaluation against a fresh evaluation.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, Iterator, Optional, Tuple
+
+from repro.errors import EvaluationCancelled, EvaluationTimeout, ResourceExhausted
+
+#: Real budget checks run once per this many checkpoint hits (per context).
+CHECK_INTERVAL = 256
+
+#: Probe hook signature: called with the site id on *every* checkpoint
+#: hit of the context it is installed on (fault injection, hit counting).
+Probe = Callable[[str], None]
+
+_SITE_REGISTRY: Dict[str, str] = {}
+
+
+def checkpoint_site(site_id: str, description: str = "") -> str:
+    """Register (idempotently) a checkpoint site id and return it.
+
+    Engine modules call this at import time for each site they
+    checkpoint from, so tooling (the fault-injection harness, the
+    ARCHITECTURE.md sites table test) can enumerate every site.
+    """
+    existing = _SITE_REGISTRY.get(site_id)
+    if not existing:
+        _SITE_REGISTRY[site_id] = description
+    return site_id
+
+
+def registered_sites() -> Tuple[str, ...]:
+    """All registered checkpoint site ids, sorted."""
+    return tuple(sorted(_SITE_REGISTRY))
+
+
+def site_descriptions() -> Dict[str, str]:
+    """Mapping of registered site id to its one-line description."""
+    return dict(_SITE_REGISTRY)
+
+
+@dataclass(frozen=True)
+class ResourceBudget:
+    """Unified resource limits for one evaluation.
+
+    ``None`` for any field means "unbounded here" — the engine's
+    historical per-subsystem defaults (``ELIMINATION_ROW_CAP``,
+    ``WITNESS_PATH_CAP``, ``deletion_repair_cap``, ``AnalysisBudget``)
+    stay in force exactly as before.  Setting a field makes it a *hard*
+    limit: exceeding it raises :class:`~repro.errors.ResourceExhausted`
+    (or :class:`~repro.errors.EvaluationTimeout` for the deadline)
+    instead of falling back.
+
+    Attributes:
+        timeout: wall-clock seconds from context creation.
+        row_cap: maximum rows in any intermediate join/elimination table.
+        witness_cap: maximum q-inj witness paths consumed per context.
+        step_cap: maximum checkpoint ticks per context (a portable,
+            deterministic work bound — useful for tests).
+    """
+
+    timeout: Optional[float] = None
+    row_cap: Optional[int] = None
+    witness_cap: Optional[int] = None
+    step_cap: Optional[int] = None
+
+    def bounded(self) -> bool:
+        """Whether any limit is set."""
+        return (
+            self.timeout is not None
+            or self.row_cap is not None
+            or self.witness_cap is not None
+            or self.step_cap is not None
+        )
+
+
+class CancellationToken:
+    """Thread-safe cooperative cancellation flag."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    def cancel(self) -> None:
+        """Request cancellation; observed at the next real checkpoint."""
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.is_set()
+
+
+class PartialAnswers(frozenset):  # type: ignore[type-arg]
+    """An answer set explicitly marked complete or interrupted.
+
+    Returned by ``evaluate``/``evaluate_batch`` under
+    ``on_budget="partial"``.  Behaves exactly like a ``frozenset`` of
+    answer tuples (equality, union, membership), with two extra
+    attributes:
+
+    - ``complete``: ``True`` iff the evaluation finished within budget.
+    - ``error``: the :class:`~repro.errors.ResourceExhausted` /
+      :class:`~repro.errors.EvaluationCancelled` instance that
+      interrupted it, or ``None``.
+
+    An incomplete result is always a *sound subset* of the full answer
+    set: only fully-evaluated disjuncts contribute.
+    """
+
+    complete: bool
+    error: Optional[BaseException]
+
+    def __new__(
+        cls,
+        answers: Iterable[Any] = (),
+        *,
+        complete: bool = True,
+        error: Optional[BaseException] = None,
+    ) -> "PartialAnswers":
+        self = super().__new__(cls, answers)
+        self.complete = complete
+        self.error = error
+        return self
+
+    def __repr__(self) -> str:
+        state = "complete" if self.complete else "partial"
+        return f"PartialAnswers({set(self)!r}, {state})"
+
+
+class ExecutionContext:
+    """Carries one evaluation's budget, cancellation token, and counters.
+
+    ``checkpoint(site)`` is the only method hot loops call; it is an
+    increment-and-compare on the fast path.  ``interval`` controls the
+    amortization window (tests shrink it for exactness); installing a
+    probe forces a real check on every hit so fault injection is
+    deterministic.
+    """
+
+    __slots__ = (
+        "budget",
+        "token",
+        "started",
+        "deadline",
+        "_ticks",
+        "_witnesses",
+        "_interval",
+        "_next_check",
+        "_probe",
+    )
+
+    def __init__(
+        self,
+        budget: Optional[ResourceBudget] = None,
+        token: Optional[CancellationToken] = None,
+        *,
+        interval: int = CHECK_INTERVAL,
+    ) -> None:
+        self.budget = budget if budget is not None else ResourceBudget()
+        self.token = token if token is not None else CancellationToken()
+        self.started = time.monotonic()
+        self.deadline: Optional[float] = (
+            self.started + self.budget.timeout
+            if self.budget.timeout is not None
+            else None
+        )
+        self._ticks = 0
+        self._witnesses = 0
+        self._interval = max(1, interval)
+        self._next_check = self._interval
+        self._probe: Optional[Probe] = None
+
+    @property
+    def ticks(self) -> int:
+        """Checkpoint hits observed so far (approximate under threads)."""
+        return self._ticks
+
+    @property
+    def witnesses(self) -> int:
+        """Witness paths consumed so far."""
+        return self._witnesses
+
+    def elapsed(self) -> float:
+        """Wall-clock seconds since this context was created."""
+        return time.monotonic() - self.started
+
+    def install_probe(self, probe: Probe) -> None:
+        """Install a per-hit hook (fault injection / hit counting).
+
+        While a probe is installed every checkpoint runs a real check,
+        so an injected fault fires at a deterministic hit count.
+        """
+        self._probe = probe
+        self._next_check = self._ticks + 1
+
+    def remove_probe(self) -> None:
+        self._probe = None
+        self._next_check = self._ticks + self._interval
+
+    def checkpoint(self, site: str) -> None:
+        """Amortized budget/cancellation check at a registered site."""
+        ticks = self._ticks + 1
+        self._ticks = ticks
+        probe = self._probe
+        if probe is not None:
+            probe(site)
+            self._check(site, ticks)
+            return
+        if ticks >= self._next_check:
+            self._next_check = ticks + self._interval
+            self._check(site, ticks)
+
+    def _check(self, site: str, ticks: int) -> None:
+        if self.token.cancelled:
+            raise EvaluationCancelled(site=site)
+        deadline = self.deadline
+        if deadline is not None:
+            now = time.monotonic()
+            if now > deadline:
+                raise EvaluationTimeout(
+                    f"wall-clock deadline of {self.budget.timeout}s exceeded"
+                    f" at {site}",
+                    limit=self.budget.timeout,
+                    progress=now - self.started,
+                    site=site,
+                )
+        step_cap = self.budget.step_cap
+        if step_cap is not None and ticks > step_cap:
+            raise ResourceExhausted(
+                f"step budget of {step_cap} exhausted at {site}",
+                kind="steps",
+                limit=step_cap,
+                progress=ticks,
+                site=site,
+            )
+
+    def check_rows(self, count: int, site: str) -> None:
+        """Enforce the row cap on an intermediate table of ``count`` rows."""
+        cap = self.budget.row_cap
+        if cap is not None and count > cap:
+            raise ResourceExhausted(
+                f"row budget of {cap} exceeded ({count} rows) at {site}",
+                kind="rows",
+                limit=cap,
+                progress=count,
+                site=site,
+            )
+
+    def consume_witnesses(self, count: int, site: str) -> None:
+        """Count ``count`` consumed witness paths against the witness cap."""
+        total = self._witnesses + count
+        self._witnesses = total
+        cap = self.budget.witness_cap
+        if cap is not None and total > cap:
+            raise ResourceExhausted(
+                f"witness budget of {cap} exceeded ({total} paths) at {site}",
+                kind="witnesses",
+                limit=cap,
+                progress=total,
+                site=site,
+            )
+
+
+_ACTIVE: "ContextVar[Optional[ExecutionContext]]" = ContextVar(
+    "repro_execution_context", default=None
+)
+
+#: Shared fallback when no context has been activated: no budget, no
+#: probe — its checkpoints are pure counter increments.
+_UNBOUNDED = ExecutionContext()
+
+
+def current_context() -> ExecutionContext:
+    """The ambient execution context (an unbounded default if none set)."""
+    active = _ACTIVE.get()
+    return _UNBOUNDED if active is None else active
+
+
+def resolve_context(ctx: Optional[ExecutionContext]) -> ExecutionContext:
+    """Resolve an explicit ``ctx`` argument, falling back to the ambient one."""
+    return ctx if ctx is not None else current_context()
+
+
+@contextmanager
+def active_context(
+    ctx: Optional[ExecutionContext],
+) -> Iterator[ExecutionContext]:
+    """Install ``ctx`` as the ambient context for the ``with`` block.
+
+    ``None`` is a pass-through: the ambient context (whatever it is)
+    stays in force — callers with optional bounds need no branching.
+    """
+    if ctx is None:
+        yield current_context()
+        return
+    token = _ACTIVE.set(ctx)
+    try:
+        yield ctx
+    finally:
+        _ACTIVE.reset(token)

@@ -19,17 +19,66 @@ class QuerySyntaxError(ReproError):
     """Raised when a CQ/CRPQ string cannot be parsed."""
 
 
-class SearchBudgetExceeded(ReproError):
-    """Raised when an exponential enumeration exceeds its safety budget.
+class ResourceExhausted(ReproError):
+    """Raised when an evaluation runs out of a governed resource.
 
     The paper's algorithms are ExpSpace/PSpace/NP-hard (or undecidable);
-    rather than hang, enumerations accept a budget and raise this error
-    when it is exhausted, reporting how far they got.
+    rather than hang or exhaust memory, governed loops check an
+    :class:`~repro.engine.runtime.ResourceBudget` and raise this error
+    when a limit is reached.
+
+    Attributes:
+        kind: which resource ran out (``"deadline"``, ``"rows"``,
+            ``"witnesses"``, ``"steps"``, ``"search"``).
+        limit: the configured limit that was hit (type depends on kind).
+        progress: how far the computation got when the limit fired
+            (ticks, rows, seconds elapsed, ... — same unit as ``limit``).
+        site: the checkpoint site id that observed the exhaustion, when
+            one was active (``None`` for non-checkpoint raises).
+    """
+
+    def __init__(self, message, *, kind="steps", limit=None, progress=None, site=None):
+        self.kind = kind
+        self.limit = limit
+        self.progress = progress
+        self.site = site
+        super().__init__(message)
+
+
+class EvaluationTimeout(ResourceExhausted):
+    """Raised when an evaluation exceeds its wall-clock deadline."""
+
+    def __init__(self, message, *, limit=None, progress=None, site=None):
+        super().__init__(
+            message, kind="deadline", limit=limit, progress=progress, site=site
+        )
+
+
+class EvaluationCancelled(ReproError):
+    """Raised when a cooperative cancellation token is triggered.
+
+    Attributes:
+        site: the checkpoint site id that observed the cancellation.
+    """
+
+    def __init__(self, message="evaluation cancelled", *, site=None):
+        self.site = site
+        super().__init__(message)
+
+
+class SearchBudgetExceeded(ResourceExhausted):
+    """Raised when an exponential enumeration exceeds its safety budget.
+
+    Predates the unified budget taxonomy; kept with its original
+    ``(message, budget)`` signature and subsumed under
+    :class:`ResourceExhausted` with ``kind="search"``.
     """
 
     def __init__(self, message, budget):
         self.budget = budget
-        super().__init__(f"{message} (budget={budget})")
+        super().__init__(
+            f"{message} (budget={budget})", kind="search", limit=budget
+        )
 
 
 class NotSupportedError(ReproError):

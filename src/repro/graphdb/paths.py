@@ -19,6 +19,11 @@ from dataclasses import dataclass
 
 from repro.engine.adjacency import adjacency_index, edge_sort_key
 from repro.engine.cache import compiled_nfa, coreachable_states
+from repro.engine.runtime import checkpoint_site, resolve_context
+
+SITE_PATH_DFS = checkpoint_site(
+    "paths.dfs", "simple-path / simple-cycle backtracking DFS (per frame)"
+)
 
 
 @dataclass(frozen=True)
@@ -104,7 +109,7 @@ def _filtered_step(nfa, states, label, node, useful):
 
 
 def simple_paths(graph, source, target, language=None, forbidden=frozenset(),
-                 require_nonempty=False):
+                 require_nonempty=False, ctx=None):
     """Yield simple paths source ⇝ target, optionally label-constrained.
 
     ``language`` (a Regex or NFA) restricts the path label; ``forbidden`` is
@@ -139,6 +144,9 @@ def simple_paths(graph, source, target, language=None, forbidden=frozenset(),
         return
 
     def extend(node, states, nodes, labels):
+        # Re-resolved per frame: a memoized witness generator created
+        # under one execution context is resumed under later ones.
+        resolve_context(ctx).checkpoint(SITE_PATH_DFS)
         for edge in index.out_sorted(node):
             nxt = edge.target
             nxt_states = None
@@ -165,7 +173,7 @@ def simple_paths(graph, source, target, language=None, forbidden=frozenset(),
 
 
 def simple_cycles_through(graph, node, language=None, forbidden=frozenset(),
-                          include_empty=True):
+                          include_empty=True, ctx=None):
     """Yield simple cycles v ⇝ v through ``node`` with label in ``language``.
 
     The empty cycle (label ε) is included when the language accepts ε and
@@ -182,6 +190,8 @@ def simple_cycles_through(graph, node, language=None, forbidden=frozenset(),
         return
 
     def extend(current, states, nodes, labels):
+        # Re-resolved per frame (see simple_paths).
+        resolve_context(ctx).checkpoint(SITE_PATH_DFS)
         for edge in index.out_sorted(current):
             nxt = edge.target
             nxt_states = None

@@ -41,13 +41,42 @@ from repro.engine.analyze import analyzed_disjuncts
 from repro.engine.cache import compiled_nfa, query_result
 from repro.engine.planner import plan_eps_free
 from repro.engine.qinj import plan_qinj
+from repro.engine.runtime import (
+    ExecutionContext,
+    PartialAnswers,
+    ResourceBudget,
+    active_context,
+)
+from repro.errors import EvaluationCancelled, ResourceExhausted
 from repro.graphdb.paths import simple_cycles_through, simple_paths
 from repro.queries.crpq import union_of
 from repro.semantics.base import Semantics
 from repro.semantics.rpq import atom_relation_kind, relation_by_kind
 
 
-def evaluate(query, graph, semantics):
+def _bounded_context(budget, timeout):
+    """The :class:`ExecutionContext` for an entry point's ``budget`` /
+    ``timeout`` kwargs, or ``None`` when neither is given (the ambient
+    context — usually unbounded — then governs, and the fast path is
+    byte-for-byte the pre-governor behavior)."""
+    if budget is None and timeout is None:
+        return None
+    if budget is None:
+        budget = ResourceBudget(timeout=timeout)
+    elif timeout is not None:
+        raise ValueError("pass either budget= or timeout=, not both")
+    return ExecutionContext(budget)
+
+
+def _check_on_budget(on_budget):
+    if on_budget not in ("raise", "partial"):
+        raise ValueError(
+            f"on_budget must be 'raise' or 'partial', got {on_budget!r}"
+        )
+
+
+def evaluate(query, graph, semantics, *, budget=None, timeout=None,
+             on_budget="raise"):
     """Return Q(G)★ as a frozenset of node tuples.
 
     ``query`` may be a CRPQ, a CQ, or a union (tuple/list) of them; the
@@ -60,21 +89,49 @@ def evaluate(query, graph, semantics):
     The analysis is memoized per query structure (graph-independent);
     :func:`repro.engine.analyze.analysis_disabled` restores the
     unanalyzed path.
+
+    Resource governance: ``budget`` (a
+    :class:`~repro.engine.runtime.ResourceBudget`) or the ``timeout``
+    shorthand bounds the evaluation; with neither, the ambient
+    execution context governs (see :mod:`repro.engine.runtime`).  When
+    a limit trips, ``on_budget="raise"`` (default) propagates the
+    :class:`~repro.errors.ResourceExhausted` /
+    :class:`~repro.errors.EvaluationTimeout`; ``on_budget="partial"``
+    instead returns a :class:`~repro.engine.runtime.PartialAnswers`
+    (a frozenset subclass with ``complete=False`` and the triggering
+    ``error``) holding the answers of the disjuncts that *completed* —
+    a sound subset of the full answer set, never partial output of an
+    interrupted disjunct.
     """
+    _check_on_budget(on_budget)
     semantics = Semantics.coerce(semantics)
-    results = set()
-    for eps_free in analyzed_disjuncts(query, semantics):
-        results |= evaluate_eps_free(eps_free, graph, semantics)
+    ctx = _bounded_context(budget, timeout)
+    try:
+        with active_context(ctx):
+            results = set()
+            for eps_free in analyzed_disjuncts(query, semantics):
+                results |= evaluate_eps_free(eps_free, graph, semantics)
+    except (ResourceExhausted, EvaluationCancelled) as error:
+        if on_budget == "raise":
+            raise
+        return PartialAnswers(results, complete=False, error=error)
     return frozenset(results)
 
 
-def evaluate_batch(queries, graph, semantics, max_workers=None):
+def evaluate_batch(queries, graph, semantics, max_workers=None, *,
+                   budget=None, timeout=None, on_budget="raise"):
     """Evaluate many queries over one graph, amortizing shared work.
 
     ``queries`` is a sequence; each element may itself be a CRPQ, CQ, or
     union.  Returns a list with one frozenset of answer tuples per input
     query, in input order — each entry equals
-    ``evaluate(queries[i], graph, semantics)`` exactly.
+    ``evaluate(queries[i], graph, semantics)`` exactly.  A query whose
+    evaluation fails contributes a
+    :class:`~repro.engine.batch.BatchError` in its slot instead of
+    aborting the batch; budget / cancellation exhaustion follows
+    ``on_budget`` (``"raise"`` propagates, ``"partial"`` degrades the
+    affected queries to error entries too).  ``budget`` / ``timeout``
+    bound the *whole batch* jointly, not each query separately.
 
     The heavy lifting lives in :mod:`repro.engine.batch`: atom languages
     are deduplicated structurally across the whole batch, each distinct
@@ -85,8 +142,11 @@ def evaluate_batch(queries, graph, semantics, max_workers=None):
     """
     from repro.engine.batch import BatchExecutor, QueryBatch
 
+    _check_on_budget(on_budget)
+    ctx = _bounded_context(budget, timeout)
     executor = BatchExecutor(graph, semantics, max_workers=max_workers)
-    return executor.execute(QueryBatch(queries))
+    with active_context(ctx):
+        return executor.execute(QueryBatch(queries), on_budget=on_budget)
 
 
 def in_evaluation(query, graph, target_tuple, semantics):

@@ -144,11 +144,13 @@ class TestSemanticsArgument:
         for name in ("st", "a-inj", "q-inj", "atom-trail", "query-trail"):
             assert str(_semantics_argument(name)) == name
 
-    def test_unknown_value_reports_union_of_names(self, graph_file):
-        with pytest.raises(ValueError) as excinfo:
-            main(["evaluate", "Q() :- x -[a]-> y", graph_file,
-                  "--semantics", "bogus"])
-        message = str(excinfo.value)
+    def test_unknown_value_reports_union_of_names(self, graph_file, capsys):
+        # Input errors map to exit code 4 with a one-line stderr message
+        # (no traceback), per the CLI error taxonomy.
+        code = main(["evaluate", "Q() :- x -[a]-> y", graph_file,
+                     "--semantics", "bogus"])
+        assert code == 4
+        message = capsys.readouterr().err
         for name in ("st", "a-inj", "q-inj", "atom-trail", "query-trail"):
             assert name in message
 
@@ -182,13 +184,17 @@ class TestBatchCommand:
         assert code == 0
         assert "# [3]" in capsys.readouterr().out
 
-    def test_batch_rejects_trail_semantics(self, graph_file, queries_file):
-        with pytest.raises(ValueError, match="trail"):
-            main(["batch", graph_file, queries_file,
-                  "--semantics", "atom-trail"])
+    def test_batch_rejects_trail_semantics(self, graph_file, queries_file,
+                                           capsys):
+        code = main(["batch", graph_file, queries_file,
+                     "--semantics", "atom-trail"])
+        assert code == 4
+        assert "trail" in capsys.readouterr().err
 
-    def test_batch_reports_query_parse_location(self, graph_file, tmp_path):
+    def test_batch_reports_query_parse_location(self, graph_file, tmp_path,
+                                                capsys):
         path = tmp_path / "queries.txt"
         path.write_text("Q(x) :- x -[a]-> y\nthis is not a query\n")
-        with pytest.raises(ValueError, match=r"queries\.txt:2"):
-            main(["batch", graph_file, str(path)])
+        code = main(["batch", graph_file, str(path)])
+        assert code == 4
+        assert "queries.txt:2" in capsys.readouterr().err

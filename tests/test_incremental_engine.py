@@ -299,19 +299,23 @@ class TestCLIUpdate:
         assert "v\tw" not in final_section  # (v,a,w)(w,b,?) has no b edge
         assert "# 0 answer(s)" in final_section
 
-    def test_update_rejects_trail_semantics(self, graph_file, tmp_path):
+    def test_update_rejects_trail_semantics(self, graph_file, tmp_path,
+                                            capsys):
+        # Input errors map to exit code 4 with a one-line stderr message.
         script = tmp_path / "ops.txt"
         script.write_text("add w a x\n")
-        with pytest.raises(ValueError, match="trail"):
-            main(["update", graph_file, str(script), "Q() :- x -[a]-> y",
-                  "--semantics", "atom-trail"])
+        code = main(["update", graph_file, str(script), "Q() :- x -[a]-> y",
+                     "--semantics", "atom-trail"])
+        assert code == 4
+        assert "trail" in capsys.readouterr().err
 
     def test_update_reports_script_line_on_bad_operation(self, graph_file,
-                                                         tmp_path):
+                                                         tmp_path, capsys):
         script = tmp_path / "ops.txt"
         script.write_text("add w a x\nremove u zzz v\n")
-        with pytest.raises(ValueError, match=r"ops\.txt:2"):
-            main(["update", graph_file, str(script), "Q() :- x -[a]-> y"])
+        code = main(["update", graph_file, str(script), "Q() :- x -[a]-> y"])
+        assert code == 4
+        assert "ops.txt:2" in capsys.readouterr().err
 
     def test_update_cascade_removal(self, graph_file, tmp_path, capsys):
         script = tmp_path / "ops.txt"

@@ -50,13 +50,13 @@ def rule_ids(result):
 # ----------------------------------------------------------------------
 
 
-def test_registry_has_all_seven_rules():
+def test_registry_has_all_eight_rules():
     rules = core.registered_rules()
     assert [rule.rule_id for rule in rules] == [
-        f"LK{index:03d}" for index in range(1, 8)
+        f"LK{index:03d}" for index in range(1, 9)
     ]
     names = {rule.rule_name for rule in rules}
-    assert len(names) == 7
+    assert len(names) == 8
 
 
 def test_rule_lookup_by_id_and_name():
@@ -425,6 +425,93 @@ def test_lk007_quiet_under_owning_lock(tmp_path):
 
 
 # ----------------------------------------------------------------------
+# LK008 checkpoint-discipline
+# ----------------------------------------------------------------------
+
+LK008_NO_CTX = """
+    def natural_join(left, right):
+        checkpoint("join.natural-join")
+        return left
+"""
+
+LK008_NO_CHECKPOINT = """
+    def natural_join(left, right, ctx=None):
+        return left
+"""
+
+LK008_GOOD = """
+    from repro.engine.runtime import checkpoint_site, resolve_context
+
+    SITE = checkpoint_site("join.natural-join", "fixture")
+
+
+    def natural_join(left, right, ctx=None):
+        ctx = resolve_context(ctx)
+        ctx.checkpoint(SITE)
+        return left
+"""
+
+LK008_NESTED_GOOD = """
+    def natural_join(left, right, ctx=None):
+        def inner():
+            ctx.checkpoint("join.natural-join")
+        inner()
+        return left
+"""
+
+
+def test_lk008_fires_when_context_parameter_missing(tmp_path):
+    result = lint_snippet(
+        tmp_path, "repro/engine/join.py", LK008_NO_CTX,
+        rule="checkpoint-discipline",
+    )
+    assert rule_ids(result) == ["LK008"]
+    assert "ctx" in result.findings[0].message
+
+
+def test_lk008_fires_when_checkpoint_call_missing(tmp_path):
+    result = lint_snippet(
+        tmp_path, "repro/engine/join.py", LK008_NO_CHECKPOINT,
+        rule="checkpoint-discipline",
+    )
+    assert rule_ids(result) == ["LK008"]
+    assert "checkpoint" in result.findings[0].message
+
+
+def test_lk008_fires_when_registered_function_disappears(tmp_path):
+    result = lint_snippet(
+        tmp_path, "repro/engine/join.py", "def other():\n    pass\n",
+        rule="checkpoint-discipline",
+    )
+    assert rule_ids(result) == ["LK008"]
+    assert "CHECKPOINTED_FUNCTIONS" in result.findings[0].message
+
+
+def test_lk008_quiet_on_checkpointed_function(tmp_path):
+    result = lint_snippet(
+        tmp_path, "repro/engine/join.py", LK008_GOOD,
+        rule="checkpoint-discipline",
+    )
+    assert result.findings == []
+
+
+def test_lk008_accepts_checkpoint_in_nested_helper(tmp_path):
+    result = lint_snippet(
+        tmp_path, "repro/engine/join.py", LK008_NESTED_GOOD,
+        rule="checkpoint-discipline",
+    )
+    assert result.findings == []
+
+
+def test_lk008_scoped_to_registered_modules(tmp_path):
+    result = lint_snippet(
+        tmp_path, "repro/engine/other.py", LK008_NO_CHECKPOINT,
+        rule="checkpoint-discipline",
+    )
+    assert result.findings == []
+
+
+# ----------------------------------------------------------------------
 # Suppressions
 # ----------------------------------------------------------------------
 
@@ -578,7 +665,7 @@ def test_text_and_json_reporters(tmp_path):
 def test_cli_list_rules(capsys):
     assert lintkit_main(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    for index in range(1, 8):
+    for index in range(1, 9):
         assert f"LK{index:03d}" in out
 
 
