@@ -160,5 +160,6 @@ def all_sites() -> Tuple[str, ...]:
     import repro.engine.product  # noqa: F401
     import repro.engine.qinj  # noqa: F401
     import repro.graphdb.paths  # noqa: F401
+    import repro.semantics.trails  # noqa: F401
 
     return registered_sites()

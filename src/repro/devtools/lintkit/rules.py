@@ -539,6 +539,7 @@ class SemanticsExhaustiveness(Rule):
 LAYERS: tuple[tuple[str, int], ...] = (
     ("repro.errors", 0),
     ("repro.semantics.base", 0),
+    ("repro.engine.backend", 1),
     ("repro.engine.runtime", 1),
     ("repro.regular", 1),
     ("repro.graphdb.graph", 2),
@@ -797,7 +798,9 @@ class LockDiscipline(Rule):
 #: checkpoint from its loop, or deadlines/cancellation silently stop
 #: covering that loop.
 CHECKPOINTED_FUNCTIONS: dict[str, frozenset[str]] = {
-    "engine/product.py": frozenset({"_reachable_product"}),
+    "engine/product.py": frozenset(
+        {"_reachable_product", "_dense_reachability_pairs"}
+    ),
     "engine/planner.py": frozenset(
         {"semijoin_reduce", "_variable_elimination", "_yannakakis"}
     ),
@@ -806,6 +809,9 @@ CHECKPOINTED_FUNCTIONS: dict[str, frozenset[str]] = {
     "engine/incremental.py": frozenset({"grow", "shrink"}),
     "engine/batch.py": frozenset({"_entry_answers"}),
     "graphdb/paths.py": frozenset({"simple_paths", "simple_cycles_through"}),
+    "semantics/trails.py": frozenset(
+        {"trails", "_reachable_trail_targets"}
+    ),
 }
 
 _CTX_PARAM_NAMES = frozenset({"ctx", "context"})
@@ -886,3 +892,65 @@ class CheckpointDiscipline(Rule):
             if isinstance(node, ast.Call) and _call_name(node) == "checkpoint":
                 return True
         return False
+
+
+# ----------------------------------------------------------------------
+# LK009 backend-seam
+# ----------------------------------------------------------------------
+
+#: Raw numeric-container modules only the backend seam may import.
+NUMERIC_MODULES = frozenset({"array", "numpy"})
+
+#: The one sanctioned import site for the numeric containers.
+BACKEND_SEAM_SUFFIX = "engine/backend.py"
+
+
+@register
+class BackendSeam(Rule):
+    """Numeric containers are imported only through ``engine/backend.py``.
+
+    **Origin: PR 9 (compact numeric core).**  The CSR index arrays and
+    the bitset mask kernels are constructed behind the backend seam,
+    selected by ``REPRO_BACKEND`` (NumPy-vectorized when available,
+    stdlib otherwise — CI runs without NumPy).  A module importing
+    ``array`` or ``numpy`` directly reaches around that seam: it either
+    breaks the no-NumPy environment or silently stops honouring the
+    backend selection the differential suite pins.  Use the
+    constructors and mask operations of :mod:`repro.engine.backend`
+    instead.  ``if TYPE_CHECKING:`` imports are exempt
+    (annotation-only); function-level imports are NOT — a lazy import
+    bypasses the seam just as thoroughly.
+    """
+
+    rule_id = "LK009"
+    rule_name = "backend-seam"
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        if ctx.relpath.endswith(BACKEND_SEAM_SUFFIX):
+            return
+        for node in ast.walk(ctx.tree):
+            imported: str | None = None
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".")[0] in NUMERIC_MODULES:
+                        imported = alias.name
+                        break
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0 and (
+                    (node.module or "").split(".")[0] in NUMERIC_MODULES
+                ):
+                    imported = node.module
+            if imported is None:
+                continue
+            if any(
+                _is_type_checking_block(ancestor)
+                for ancestor in ctx.ancestors(node)
+            ):
+                continue
+            yield self.finding(
+                ctx, node,
+                f"direct import of {imported} reaches around the "
+                f"numeric-backend seam — construct index arrays and "
+                f"bitset masks through repro.engine.backend "
+                f"(REPRO_BACKEND selection) instead",
+            )

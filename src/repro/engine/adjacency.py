@@ -18,7 +18,12 @@ proxies.
 from __future__ import annotations
 
 from types import MappingProxyType
-from typing import Any, Mapping
+from typing import TYPE_CHECKING, Any, Mapping
+
+from repro.engine.backend import index_array, zeros_index_array
+
+if TYPE_CHECKING:
+    from array import array
 
 #: ``{label: (neighbors...)}`` partition handed out by the index —
 #: a read-only view; mutating it raises ``TypeError``.
@@ -56,6 +61,7 @@ class AdjacencyIndex:
         "_label_sources",
         "_label_targets",
         "_label_loops",
+        "_csr_out",
     )
 
     version: int
@@ -68,6 +74,7 @@ class AdjacencyIndex:
     _label_sources: dict[Any, frozenset[Any]]
     _label_targets: dict[Any, frozenset[Any]]
     _label_loops: dict[Any, frozenset[Any]]
+    _csr_out: Mapping[Any, tuple["array[int]", "array[int]"]] | None
 
     _EMPTY: tuple[Any, ...] = ()
     _EMPTY_SET: frozenset[Any] = frozenset()
@@ -116,6 +123,7 @@ class AdjacencyIndex:
         self._label_loops = {
             label: frozenset(nodes) for label, nodes in label_loops.items()
         }
+        self._csr_out = None
 
     def out_sorted(self, node: Any) -> tuple[Any, ...]:
         """Edges leaving ``node``, sorted by :func:`edge_sort_key`."""
@@ -144,6 +152,45 @@ class AdjacencyIndex:
     def label_loops(self, label: Any) -> frozenset[Any]:
         """Nodes with a ``label`` self-loop (a frozenset)."""
         return self._label_loops.get(label, self._EMPTY_SET)
+
+    def csr_out(self) -> Mapping[Any, tuple["array[int]", "array[int]"]]:
+        """Label-partitioned CSR adjacency over dense node ids.
+
+        ``{label: (offsets, targets)}`` where both halves are signed
+        64-bit index arrays from :mod:`repro.engine.backend`: the
+        ``label``-successors of the node interned at ``i`` (see
+        ``node_bit``) are ``targets[offsets[i]:offsets[i + 1]]``, in
+        the same deterministic :func:`edge_sort_key` order as the
+        object-level partitions.  Built lazily on first request (only
+        the dense kernels pay for it) and cached for the lifetime of
+        this index — the arrays are shared, so treat them as frozen;
+        the mapping itself is a read-only proxy.
+        """
+        csr = self._csr_out
+        if csr is not None:
+            return csr
+        node_bit = self.node_bit
+        labels = tuple(self._label_sources)
+        count = len(self.nodes_sorted)
+        offsets = {label: zeros_index_array(count + 1) for label in labels}
+        targets: dict[Any, list[int]] = {label: [] for label in labels}
+        for position, node in enumerate(self.nodes_sorted):
+            partition = self._out_by_label.get(node)
+            if partition:
+                for label, label_targets in partition.items():
+                    targets[label].extend(
+                        node_bit[target] for target in label_targets
+                    )
+            for label in labels:
+                offsets[label][position + 1] = len(targets[label])
+        csr = MappingProxyType(
+            {
+                label: (offsets[label], index_array(targets[label]))
+                for label in labels
+            }
+        )
+        self._csr_out = csr
+        return csr
 
 
 def adjacency_index(graph: Any) -> AdjacencyIndex:

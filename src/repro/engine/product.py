@@ -23,9 +23,11 @@ suite); asymptotically one product traversal plus output size.
 
 from __future__ import annotations
 
+from itertools import product as _cartesian
 from typing import Any, Iterator, Optional
 
 from repro.engine.adjacency import AdjacencyIndex, adjacency_index
+from repro.engine.backend import Backend, active_backend
 from repro.engine.runtime import ExecutionContext, checkpoint_site, resolve_context
 
 #: A ``(node, state)`` product state and its deduplicated successors.
@@ -33,7 +35,8 @@ ProductNode = tuple[Any, Any]
 ProductAdjacency = dict[ProductNode, list[ProductNode]]
 
 SITE_PRODUCT_SWEEP = checkpoint_site(
-    "product.sweep", "product-reachability forward exploration (per stack pop)"
+    "product.sweep",
+    "product-reachability forward exploration (per product node expanded)",
 )
 
 
@@ -49,6 +52,11 @@ def product_reachability_pairs(
     if nfa.accepts(()):
         pairs.update((node, node) for node in nodes)
     if not nodes or not nfa.initials:
+        return pairs
+
+    backend = active_backend()
+    if backend.dense_kernels:
+        pairs.update(_dense_reachability_pairs(index, nfa, ctx, backend))
         return pairs
 
     adjacency, seeds = _reachable_product(index, nfa, ctx)
@@ -70,6 +78,248 @@ def product_reachability_pairs(
         for source in _decode_mask(mask, nodes):
             for target in targets:
                 pairs.add((source, target))
+    return pairs
+
+
+def _dense_reachability_pairs(
+    index: AdjacencyIndex,
+    nfa: Any,
+    ctx: ExecutionContext,
+    backend: Backend,
+) -> set[tuple[Any, Any]]:
+    """The array-backend kernel: the pure path's four phases (forward
+    sweep → Tarjan → mask propagation → final decode) fused so the
+    product graph is traversed **once**, entirely in dense integer
+    space.
+
+    NFA states are interned to ``0..q-1`` (repr-sorted, mirroring the
+    node interning) and a product state ``(node, state)`` becomes the
+    single int ``node_id * q + state_id``.  One iterative Tarjan DFS
+    discovers the reachable product directly from the CSR rows of
+    :meth:`AdjacencyIndex.csr_out`, materializing each node's successor
+    list exactly once (at first expansion), and collects condensation
+    edges during component finalization — legal because Tarjan emits
+    components sinks-first, so every cross-component successor already
+    has its component assigned.  Source sets then propagate through the
+    condensation as the backend's fixed-width bitsets.  Each kernel
+    works on flat int lists (``vid`` = discovery id), not dicts of
+    tuples; the CSR rows are thawed to plain lists up front because
+    C-level ``array.tolist()`` plus list slicing beats per-element
+    ``array`` indexing on the hot edge loop.  Output-equivalent to the
+    pure path — pinned by ``tests/test_backend_differential.py``.
+    """
+    nodes = index.nodes_sorted
+    count = len(nodes)
+
+    state_pool = set(nfa.states) | set(nfa.initials) | set(nfa.finals)
+    for (state, _label), next_states in nfa.transitions.items():
+        state_pool.add(state)
+        state_pool.update(next_states)
+    states = tuple(sorted(state_pool, key=repr))
+    state_id = {state: position for position, state in enumerate(states)}
+    width = len(states)
+
+    # Per-state move table: (offsets, targets, successor state ids) per
+    # label with both a transition and at least one edge in the graph.
+    # The thawed target lists are shared per label across states; they
+    # are kernel-local working copies, freed on return.
+    csr = index.csr_out()
+    thawed: dict[Any, tuple[list[int], list[int]]] = {}
+    moves: list[list[tuple[list[int], list[int], tuple[int, ...]]]] = [
+        [] for _ in range(width)
+    ]
+    for (state, label), next_states in nfa.transitions.items():
+        arrays = csr.get(label)
+        if arrays is None or not next_states:
+            continue
+        lists = thawed.get(label)
+        if lists is None:
+            # Targets are pre-scaled by the state count so the hot loop
+            # forms a product int with a single add per edge.
+            lists = thawed[label] = (
+                arrays[0].tolist(),
+                [target * width for target in arrays[1].tolist()],
+            )
+        moves[state_id[state]].append(
+            (
+                lists[0],
+                lists[1],
+                tuple(sorted(state_id[s] for s in next_states)),
+            )
+        )
+
+    # Discovery ids: ``visit_of`` holds vid + 1 (0 = unreached), assigned
+    # the first time a product int is seen; Tarjan's DFS numbering lives
+    # separately in ``order``.  All per-vid vectors grow in lock step.
+    visit_of: list[int] = [0] * (count * width)
+    pids: list[int] = []
+    order: list[int] = []
+    low: list[int] = []
+    on_stack: list[int] = []
+    comp_of: list[int] = []
+    cross_of: list[list[int]] = []
+    initial_ids = sorted(state_id[state] for state in nfa.initials)
+    for node_id in range(count):
+        base = node_id * width
+        for s_id in initial_ids:
+            pid = base + s_id
+            visit_of[pid] = len(pids) + 1
+            pids.append(pid)
+
+    _EMPTY: list[int] = []
+    seed_total = len(pids)
+    order.extend(0 for _ in range(seed_total))
+    low.extend(0 for _ in range(seed_total))
+    on_stack.extend(0 for _ in range(seed_total))
+    comp_of.extend(0 for _ in range(seed_total))
+    cross_of.extend(_EMPTY for _ in range(seed_total))
+
+    # The DFS touches each product edge once.  At a node's expansion,
+    # already-numbered successors are resolved on the spot (a low-link
+    # update when on-stack — same component, by Tarjan's invariant — or
+    # a condensation edge into ``cross_of`` when finalized); only the
+    # not-yet-numbered ones are deferred to the frame's pending stack
+    # and re-checked as they pop.  A tree child that finalizes its own
+    # component contributes its condensation edge at frame pop, so no
+    # successor list is ever stored or rescanned.
+    checkpoint = ctx.checkpoint
+    scc_stack: list[int] = []
+    cond_succs: list[list[int]] = []
+    counter = 0
+    vid_stack: list[int] = []
+    pending_stack: list[list[int]] = []
+    for root in range(seed_total):
+        if order[root]:
+            continue
+        push = root
+        while True:
+            if push >= 0:
+                # Expansion: number the node, resolve its CSR rows.
+                vid = push
+                push = -1
+                checkpoint(SITE_PRODUCT_SWEEP)
+                counter += 1
+                order[vid] = counter
+                vlow = counter
+                scc_stack.append(vid)
+                on_stack[vid] = 1
+                pending: list[int] = []
+                append_pending = pending.append
+                cross = _EMPTY
+                node_id, s_id = divmod(pids[vid], width)
+                for offsets, targets, next_ids in moves[s_id]:
+                    row = targets[offsets[node_id]:offsets[node_id + 1]]
+                    for next_id in next_ids:
+                        for scaled in row:
+                            spid = scaled + next_id
+                            svid = visit_of[spid]
+                            if svid:
+                                svid -= 1
+                                successor_order = order[svid]
+                                if not successor_order:
+                                    append_pending(svid)
+                                elif on_stack[svid]:
+                                    if successor_order < vlow:
+                                        vlow = successor_order
+                                else:
+                                    if cross is _EMPTY:
+                                        cross = []
+                                    cross.append(comp_of[svid] - 1)
+                            else:
+                                append_pending(len(pids))
+                                visit_of[spid] = len(pids) + 1
+                                pids.append(spid)
+                                order.append(0)
+                                low.append(0)
+                                on_stack.append(0)
+                                comp_of.append(0)
+                                cross_of.append(_EMPTY)
+                low[vid] = vlow
+                cross_of[vid] = cross
+                vid_stack.append(vid)
+                pending_stack.append(pending)
+                continue
+            if not vid_stack:
+                break
+            vid = vid_stack[-1]
+            pending = pending_stack[-1]
+            vlow = low[vid]
+            while pending:
+                svid = pending.pop()
+                successor_order = order[svid]
+                if not successor_order:
+                    low[vid] = vlow
+                    push = svid
+                    break
+                if on_stack[svid]:
+                    if successor_order < vlow:
+                        vlow = successor_order
+                else:
+                    # Numbered and finalized since it was deferred.
+                    cross = cross_of[vid]
+                    if cross is _EMPTY:
+                        cross = cross_of[vid] = []
+                    cross.append(comp_of[svid] - 1)
+            if push >= 0:
+                continue
+            vid_stack.pop()
+            pending_stack.pop()
+            if vlow == order[vid]:
+                identifier = len(cond_succs)
+                cond: list[int] = []
+                while True:
+                    member = scc_stack.pop()
+                    on_stack[member] = 0
+                    comp_of[member] = identifier + 1
+                    if cross_of[member]:
+                        cond.extend(cross_of[member])
+                        cross_of[member] = _EMPTY
+                    if member == vid:
+                        break
+                cond_succs.append(cond)
+            if vid_stack:
+                parent = vid_stack[-1]
+                if vlow < low[parent]:
+                    low[parent] = vlow
+                if not on_stack[vid]:
+                    # Tree edge into a child that closed its own
+                    # component: a condensation edge from the (still
+                    # open) parent.
+                    cross = cross_of[parent]
+                    if cross is _EMPTY:
+                        cross = cross_of[parent] = []
+                    cross.append(comp_of[vid] - 1)
+
+    # Seed masks (bit = source node id at every (node, initial)), then
+    # push them forward through the condensation in topological order
+    # (the reverse of Tarjan's sinks-first emission).
+    total_components = len(cond_succs)
+    masks = backend.make_masks(total_components, count)
+    set_bit = backend.mask_set_bit
+    for vid in range(seed_total):
+        set_bit(masks, comp_of[vid] - 1, pids[vid] // width)
+    or_into = backend.mask_or_into
+    mask_any = backend.mask_any
+    for identifier in range(total_components - 1, -1, -1):
+        cond = cond_succs[identifier]
+        if not cond or not mask_any(masks, identifier):
+            continue
+        for successor_component in set(cond):
+            or_into(masks, successor_component, identifier)
+
+    final_ids = {state_id[state] for state in nfa.finals}
+    final_targets: dict[int, list[Any]] = {}
+    for vid in range(len(pids)):
+        pid = pids[vid]
+        if pid % width in final_ids:
+            final_targets.setdefault(
+                comp_of[vid] - 1, []
+            ).append(nodes[pid // width])
+    pairs: set[tuple[Any, Any]] = set()
+    for identifier, final_nodes in final_targets.items():
+        sources = [nodes[bit] for bit in backend.mask_bits(masks, identifier)]
+        if sources:
+            pairs.update(_cartesian(sources, final_nodes))
     return pairs
 
 

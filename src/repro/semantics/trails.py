@@ -33,12 +33,18 @@ import enum
 
 from repro.engine.adjacency import adjacency_index, edge_sort_key
 from repro.engine.cache import compiled_nfa
+from repro.engine.runtime import checkpoint_site, resolve_context
 from repro.graphdb.graph import GraphDatabase
 from repro.graphdb.paths import Path
 from repro.homomorphism.matcher import homomorphisms
 from repro.queries.atoms import CQAtom
 from repro.queries.cq import CQ
 from repro.queries.crpq import union_of
+
+
+SITE_TRAILS_DFS = checkpoint_site(
+    "trails.dfs", "trail-semantics DFS expansion (per edge considered)"
+)
 
 
 class TrailSemantics(enum.Enum):
@@ -61,7 +67,7 @@ class TrailSemantics(enum.Enum):
 
 
 def trails(graph, source, target, language=None, forbidden_edges=frozenset(),
-           require_nonempty=False):
+           require_nonempty=False, ctx=None):
     """Yield trails source ⇝ target (no repeated edges), optionally
     label-constrained and avoiding ``forbidden_edges``.
 
@@ -70,7 +76,14 @@ def trails(graph, source, target, language=None, forbidden_edges=frozenset(),
     target, length ≥ 1) are produced too; the empty trail is yielded for
     source == target when ε is accepted and ``require_nonempty`` is
     false.
+
+    The DFS is an explicit stack of edge iterators (a trail can be as
+    long as |E|, far past the interpreter recursion limit the seed's
+    recursive closure hit) and checkpoints the execution context at
+    ``trails.dfs`` on every edge considered, so trail evaluation obeys
+    timeouts, budgets, and cancellation like every other engine loop.
     """
+    ctx = resolve_context(ctx)
     nfa = _as_nfa(language)
     if source == target and not require_nonempty:
         if nfa is None or nfa.accepts(()):
@@ -79,9 +92,16 @@ def trails(graph, source, target, language=None, forbidden_edges=frozenset(),
     initial_states = frozenset(nfa.initials) if nfa is not None else None
     used = set(forbidden_edges)
     index = adjacency_index(graph)
-
-    def extend(node, states, nodes, labels):
-        for edge in index.out_sorted(node):
+    nodes = [source]
+    labels = []
+    # Frame: (resumable edge iterator, NFA states on entry, the edge
+    # taken to enter — None for the root frame, which unwinds nothing).
+    stack = [(iter(index.out_sorted(source)), initial_states, None)]
+    while stack:
+        edges, states, entering_edge = stack[-1]
+        descended = False
+        for edge in edges:
+            ctx.checkpoint(SITE_TRAILS_DFS)
             if edge in used:
                 continue
             nxt_states = None
@@ -96,12 +116,17 @@ def trails(graph, source, target, language=None, forbidden_edges=frozenset(),
                 nfa is None or (nxt_states & nfa.finals)
             ):
                 yield Path(tuple(nodes), tuple(labels))
-            yield from extend(edge.target, nxt_states, nodes, labels)
-            nodes.pop()
-            labels.pop()
-            used.discard(edge)
-
-    yield from extend(source, initial_states, [source], [])
+            stack.append(
+                (iter(index.out_sorted(edge.target)), nxt_states, edge)
+            )
+            descended = True
+            break
+        if not descended:
+            stack.pop()
+            if entering_edge is not None:
+                nodes.pop()
+                labels.pop()
+                used.discard(entering_edge)
 
 
 def _as_nfa(language):
@@ -127,29 +152,43 @@ def trail_pairs(graph, language):
     return pairs
 
 
-def _reachable_trail_targets(graph, source, language):
-    """All v such that a trail from ``source`` to v spells a word in L."""
+def _reachable_trail_targets(graph, source, language, ctx=None):
+    """All v such that a trail from ``source`` to v spells a word in L.
+
+    Explicit-stack DFS, checkpointed at ``trails.dfs`` — same discipline
+    (and same reasons) as :func:`trails`.
+    """
+    ctx = resolve_context(ctx)
     nfa = _as_nfa(language)
     found = set()
     if nfa.accepts(()):
         found.add(source)
     used = set()
     index = adjacency_index(graph)
-
-    def extend(node, states):
-        for edge in index.out_sorted(node):
+    finals = nfa.finals
+    stack = [(iter(index.out_sorted(source)), frozenset(nfa.initials), None)]
+    while stack:
+        edges, states, entering_edge = stack[-1]
+        descended = False
+        for edge in edges:
+            ctx.checkpoint(SITE_TRAILS_DFS)
             if edge in used:
                 continue
             nxt_states = nfa.step(states, edge.label)
             if not nxt_states:
                 continue
             used.add(edge)
-            if nxt_states & nfa.finals:
+            if nxt_states & finals:
                 found.add(edge.target)
-            extend(edge.target, nxt_states)
-            used.discard(edge)
-
-    extend(source, frozenset(nfa.initials))
+            stack.append(
+                (iter(index.out_sorted(edge.target)), nxt_states, edge)
+            )
+            descended = True
+            break
+        if not descended:
+            stack.pop()
+            if entering_edge is not None:
+                used.discard(entering_edge)
     return found
 
 

@@ -20,6 +20,7 @@ over concrete databases is unaffected by the subtlety.
 
 from __future__ import annotations
 
+from repro.engine.cache import graph_cached
 from repro.graphdb.graph import GraphDatabase
 from repro.semantics.base import Semantics
 from repro.semantics.evaluation import evaluate
@@ -54,13 +55,26 @@ def inverse_closure(graph):
     return closed
 
 
-def evaluate_twoway(query, graph, semantics):
+def evaluate_twoway(query, graph, semantics, *, budget=None, timeout=None,
+                    on_budget="raise"):
     """Evaluate a C2RPQ (atom languages over A ∪ A⁻) over ``graph``.
 
     Equivalent to evaluating the query as a plain CRPQ over the inverse
     closure G±.  All three semantics are supported; under the injective
     semantics, path simplicity is node-distinctness in G± (directions may
     mix along one atom path).
+
+    The closure is cached per ``graph.version`` through the engine's
+    graph-cache (the seed rebuilt it from scratch on every call, so the
+    closed graph's adjacency index, atom-relation caches, and result
+    caches were stone-cold each evaluation); mutating ``graph``
+    transparently invalidates it.  The governor kwargs (``budget`` /
+    ``timeout`` / ``on_budget``) forward to
+    :func:`~repro.semantics.evaluation.evaluate` unchanged.
     """
     semantics = Semantics.coerce(semantics)
-    return evaluate(query, inverse_closure(graph), semantics)
+    closed = graph_cached(
+        graph, ("twoway-closure",), lambda: inverse_closure(graph)
+    )
+    return evaluate(query, closed, semantics, budget=budget,
+                    timeout=timeout, on_budget=on_budget)

@@ -28,6 +28,7 @@ from repro.graphdb.graph import GraphDatabase
 from repro.queries.parser import parse_query
 from repro.semantics.base import Semantics
 from repro.semantics.evaluation import evaluate, evaluate_batch
+from repro.semantics.trails import evaluate_trails
 
 ACYCLIC = parse_query("Q(x, z) :- x -[a*]-> y, y -[b]-> z")
 CYCLIC = parse_query("Q(x) :- x -[aa*]-> y, y -[bb*]-> z, z -[a*]-> x")
@@ -72,6 +73,19 @@ EVAL_SITES = (
 
 INCREMENTAL_SITES = ("incremental.grow", "incremental.shrink")
 
+TRAIL_SITES = ("trails.dfs",)
+
+TRAIL_QUERY = parse_query("Q(x, y) :- x -[a*b]-> y")
+
+
+def trail_workload(graph):
+    """Both edge-injective semantics; every trail DFS checkpoints at
+    ``trails.dfs``."""
+    return (
+        evaluate_trails(TRAIL_QUERY, graph, "atom-trail"),
+        evaluate_trails(TRAIL_QUERY, graph, "query-trail"),
+    )
+
 
 def incr_env():
     graph = make_graph()
@@ -99,7 +113,10 @@ def sweep_hits(total):
 def test_every_registered_site_is_swept():
     """The sweep below must cover the full registry — a new site added
     without sweep coverage fails here, not silently."""
-    covered = set(EVAL_SITES) | set(INCREMENTAL_SITES) | {"batch.entry"}
+    covered = (
+        set(EVAL_SITES) | set(INCREMENTAL_SITES) | set(TRAIL_SITES)
+        | {"batch.entry"}
+    )
     assert covered == set(all_sites())
 
 
@@ -137,6 +154,20 @@ def test_incremental_interrupt_sweep_never_sticks_mid_repair(site):
         # equal a fresh store-less evaluation of a pristine copy.
         assert evaluate(ACYCLIC, graph, "st") == \
             pristine_answers(ACYCLIC, graph, "st")
+
+
+@pytest.mark.parametrize("site", TRAIL_SITES)
+def test_trail_interrupt_sweep_leaves_caches_sound(site):
+    expected = trail_workload(make_graph())  # warm query-scoped caches
+    total = hit_counts(lambda: trail_workload(make_graph()))[site]
+    for hit in sweep_hits(total):
+        graph = make_graph()
+        with inject(site, hit) as report:
+            with pytest.raises(FaultInjected):
+                trail_workload(graph)
+        assert report.fired
+        assert report.hits[site] == hit
+        assert trail_workload(graph) == expected
 
 
 def test_cancellation_interrupt_is_equally_sound():

@@ -50,13 +50,13 @@ def rule_ids(result):
 # ----------------------------------------------------------------------
 
 
-def test_registry_has_all_eight_rules():
+def test_registry_has_all_nine_rules():
     rules = core.registered_rules()
     assert [rule.rule_id for rule in rules] == [
-        f"LK{index:03d}" for index in range(1, 9)
+        f"LK{index:03d}" for index in range(1, 10)
     ]
     names = {rule.rule_name for rule in rules}
-    assert len(names) == 8
+    assert len(names) == 9
 
 
 def test_rule_lookup_by_id_and_name():
@@ -507,6 +507,86 @@ def test_lk008_scoped_to_registered_modules(tmp_path):
     result = lint_snippet(
         tmp_path, "repro/engine/other.py", LK008_NO_CHECKPOINT,
         rule="checkpoint-discipline",
+    )
+    assert result.findings == []
+
+
+# ----------------------------------------------------------------------
+# LK009 backend-seam
+# ----------------------------------------------------------------------
+
+
+LK009_MODULE_IMPORT = """
+    from array import array
+
+    def build():
+        return array("q")
+"""
+
+LK009_LAZY_IMPORT = """
+    def build():
+        import numpy
+
+        return numpy.zeros(4)
+"""
+
+LK009_TYPE_CHECKING_OK = """
+    from typing import TYPE_CHECKING
+
+    if TYPE_CHECKING:
+        from array import array
+
+
+    def size(values: "array[int]") -> int:
+        return len(values)
+"""
+
+LK009_SEAM_USER_OK = """
+    from repro.engine.backend import index_array
+
+    def build():
+        return index_array((1, 2, 3))
+"""
+
+
+def test_lk009_fires_on_module_scope_numeric_import(tmp_path):
+    result = lint_snippet(
+        tmp_path, "repro/engine/adjacency.py", LK009_MODULE_IMPORT,
+        rule="backend-seam",
+    )
+    assert rule_ids(result) == ["LK009"]
+    assert "backend" in result.findings[0].message
+
+
+def test_lk009_fires_on_function_level_numeric_import(tmp_path):
+    result = lint_snippet(
+        tmp_path, "repro/engine/product.py", LK009_LAZY_IMPORT,
+        rule="backend-seam",
+    )
+    assert rule_ids(result) == ["LK009"]
+    assert "numpy" in result.findings[0].message
+
+
+def test_lk009_exempts_type_checking_imports(tmp_path):
+    result = lint_snippet(
+        tmp_path, "repro/engine/adjacency.py", LK009_TYPE_CHECKING_OK,
+        rule="backend-seam",
+    )
+    assert result.findings == []
+
+
+def test_lk009_exempts_the_seam_module_itself(tmp_path):
+    result = lint_snippet(
+        tmp_path, "repro/engine/backend.py", LK009_MODULE_IMPORT,
+        rule="backend-seam",
+    )
+    assert result.findings == []
+
+
+def test_lk009_quiet_on_seam_consumers(tmp_path):
+    result = lint_snippet(
+        tmp_path, "repro/engine/planner.py", LK009_SEAM_USER_OK,
+        rule="backend-seam",
     )
     assert result.findings == []
 

@@ -195,3 +195,47 @@ class TestTrailHierarchy:
         q = parse_query("Q(x, y) :- x -[a]-> y, x -[(a+ba)]-> y")
         assert ("u", "v") in evaluate(q, g, "q-inj")
         assert ("u", "v") in evaluate_trails(q, g, "query-trail")
+
+
+class TestExplicitStackDFS:
+    """The seed's recursive ``extend`` closures died with RecursionError
+    on trails longer than the interpreter stack; the explicit-stack DFS
+    must not, and must obey the execution governor at ``trails.dfs``."""
+
+    def long_chain(self):
+        import sys
+
+        length = sys.getrecursionlimit() + 500
+        g = GraphDatabase()
+        nodes = [f"n{i:05d}" for i in range(length + 1)]
+        g.add_path(nodes, ["a"] * length)
+        return g, nodes, length
+
+    def test_trails_survive_chain_past_recursion_limit(self):
+        g, nodes, length = self.long_chain()
+        found = list(
+            trails(g, nodes[0], nodes[-1], language=parse_regex("a*"))
+        )
+        assert len(found) == 1
+        assert len(found[0]) == length
+
+    def test_reachable_targets_survive_chain_past_recursion_limit(self):
+        from repro.semantics.trails import _reachable_trail_targets
+
+        g, nodes, _length = self.long_chain()
+        found = _reachable_trail_targets(g, nodes[0], parse_regex("a*"))
+        assert found == set(nodes)
+
+    def test_trails_checkpoint_obeys_timeout(self):
+        from repro.engine.runtime import (
+            ExecutionContext,
+            ResourceBudget,
+            active_context,
+        )
+        from repro.errors import EvaluationTimeout
+
+        g = GraphDatabase(edges=[("u", "a", "v"), ("v", "a", "w")])
+        ctx = ExecutionContext(ResourceBudget(timeout=0.0), interval=1)
+        with active_context(ctx):
+            with pytest.raises(EvaluationTimeout):
+                list(trails(g, "u", "w"))

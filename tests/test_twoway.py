@@ -101,3 +101,77 @@ class TestTwoWayEvaluation:
         ainj = evaluate_twoway(q, g, "a-inj")
         qinj = evaluate_twoway(q, g, "q-inj")
         assert qinj <= ainj <= st
+
+
+class TestGovernorAndClosureCache:
+    """PR-9 bugfixes: the inverse closure is cached per graph version
+    (the seed rebuilt it stone-cold on every call), and the governor
+    kwargs forward through :func:`evaluate_twoway`."""
+
+    QUERY = CRPQ(("x", "y"), (Atom("x", word(["a", inverse("a")]), "y"),))
+
+    def v_graph(self):
+        g = GraphDatabase()
+        g.add_edge("u", "a", "m")
+        g.add_edge("v", "a", "m")
+        return g
+
+    def chain_graph(self):
+        """Long enough that the workload crosses the governor's
+        amortized check interval (256 ticks) — a tiny graph would
+        finish before the deadline is ever consulted."""
+        g = GraphDatabase()
+        nodes = [f"c{i:03d}" for i in range(301)]
+        g.add_path(nodes, ["a"] * 300)
+        return g
+
+    def test_closure_cached_across_calls(self):
+        from repro.engine.cache import graph_cached
+
+        g = self.v_graph()
+        first = evaluate_twoway(self.QUERY, g, "st")
+        assert ("u", "v") in first
+        # Same version: the cache serves the stored closure and the
+        # compute thunk never runs.
+        sentinel = object()
+        cached = graph_cached(g, ("twoway-closure",), lambda: sentinel)
+        assert cached is not sentinel
+        assert cached.has_edge("m", inverse("a"), "u")
+
+    def test_mutation_invalidates_closure(self):
+        g = self.v_graph()
+        assert ("u", "w") not in evaluate_twoway(self.QUERY, g, "st")
+        g.add_edge("w", "a", "m")
+        answers = evaluate_twoway(self.QUERY, g, "st")
+        assert ("u", "w") in answers and ("w", "v") in answers
+
+    def test_timeout_forwards(self):
+        from repro.errors import EvaluationTimeout
+
+        with pytest.raises(EvaluationTimeout):
+            evaluate_twoway(self.QUERY, self.chain_graph(), "st",
+                            timeout=0.0)
+
+    def test_budget_forwards(self):
+        from repro.engine.runtime import ResourceBudget
+        from repro.errors import ResourceExhausted
+
+        with pytest.raises(ResourceExhausted):
+            evaluate_twoway(self.QUERY, self.chain_graph(), "st",
+                            budget=ResourceBudget(step_cap=1))
+
+    def test_on_budget_partial_forwards(self):
+        from repro.engine.runtime import PartialAnswers
+        from repro.errors import EvaluationTimeout
+
+        partial = evaluate_twoway(self.QUERY, self.chain_graph(), "st",
+                                  timeout=0.0, on_budget="partial")
+        assert isinstance(partial, PartialAnswers)
+        assert not partial.complete
+        assert isinstance(partial.error, EvaluationTimeout)
+        # The interrupted closure's caches stay sound: a clean retry on
+        # the same graph object yields the full answers.
+        g = self.chain_graph()
+        evaluate_twoway(self.QUERY, g, "st", timeout=0.0,
+                        on_budget="partial")
+        assert ("c000", "c000") in evaluate_twoway(self.QUERY, g, "st")
