@@ -29,6 +29,22 @@ SCHEMA = "perf-trajectory-v1"
 _REPO_ROOT = Path(__file__).resolve().parents[1]
 
 
+def _environment():
+    """Backend / NumPy attribution for each entry, so a trajectory that
+    spans an environment change (NumPy appearing, a backend switch)
+    doesn't read as a perf regression.  Never raises — the recorder
+    must not fail a gate."""
+    try:
+        from repro.engine.backend import active_backend, numpy_available
+
+        return {
+            "backend": active_backend().name,
+            "numpy": numpy_available(),
+        }
+    except Exception:
+        return {}
+
+
 class TrajectoryRecorder:
     """Accumulates one run's measurements and flushes them on each record.
 
@@ -66,6 +82,7 @@ class TrajectoryRecorder:
             "schema": SCHEMA,
             "run_id": self._run_token,
             "created_unix": time.time(),
+            "environment": _environment(),
             "measurements": self._measurements,
         })
         try:

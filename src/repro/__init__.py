@@ -25,6 +25,12 @@ Public API highlights:
   q-inj relation-guided pruning plan (reduced candidate tables,
   variable domains, atom search order), without executing any glue or
   search;
+- :class:`repro.QueryTrace` / :class:`repro.TracedAnswers` — structured
+  query tracing: ``evaluate(..., trace=True)`` returns the answers with
+  a span tree, per-query counters, and (via
+  :func:`repro.devtools.obs.trace_session`) a checkpoint-site profile
+  attached; :func:`repro.metrics_registry` is the process-wide metrics
+  registry every engine subsystem counts into;
 - :func:`repro.contains` — containment deciders for every cell of
   Figure 1 (§4–§6), with honest bounded verdicts on the undecidable cell;
 - :mod:`repro.reductions` — executable hardness reductions (PCP, GCP2,
@@ -52,6 +58,8 @@ from repro.engine.analyze import (
 )
 from repro.engine.incremental import IncrementalRelationStore, incremental_store
 from repro.engine.planner import explain_query
+from repro.engine.telemetry import QueryTrace, TracedAnswers, current_trace
+from repro.engine.telemetry import registry as metrics_registry
 from repro.engine.runtime import (
     CancellationToken,
     ExecutionContext,
@@ -107,7 +115,11 @@ __all__ = [
     "CancellationToken",
     "ExecutionContext",
     "PartialAnswers",
+    "QueryTrace",
+    "TracedAnswers",
     "active_context",
     "current_context",
+    "current_trace",
+    "metrics_registry",
     "__version__",
 ]

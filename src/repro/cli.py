@@ -11,6 +11,8 @@ Commands:
 - ``analyze``   — statically analyze a query under a semantics: hard
   facts, containment-certified pruning/rewrites (audited decisions),
   and warning-level lints — no graph needed, nothing executed;
+- ``stats``     — validate and render a ``metrics-report-v1`` JSON file
+  (written by ``--metrics-out`` on evaluate / batch / update);
 - ``contains``  — decide containment between two queries;
 - ``figure1``   — print the Figure 1 complexity table (optionally with the
   empirical agreement matrix);
@@ -26,6 +28,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import contextmanager
 
 from repro.containment.api import contains
 from repro.engine.runtime import ExecutionContext, ResourceBudget, active_context
@@ -113,6 +116,36 @@ def _execution_context(args):
     )
 
 
+@contextmanager
+def _observed(args, ctx):
+    """Run the block under the command's execution context, optionally
+    traced (``--trace``: span tree + per-query counters + checkpoint
+    profile printed after the results) and snapshotted
+    (``--metrics-out``: a ``metrics-report-v1`` file for the ``stats``
+    subcommand).  The trace rides ``ctx`` when budget flags created
+    one, else the session's own fresh context."""
+    trace = None
+    if getattr(args, "trace", False):
+        from repro.devtools.obs import trace_session
+
+        with trace_session(ctx=ctx) as trace:
+            yield
+    else:
+        with active_context(ctx):
+            yield
+    if trace is not None:
+        print("# --- trace ---")
+        for line in trace.render().splitlines():
+            print(f"# {line}")
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out:
+        from repro.devtools.obs import write_report
+
+        write_report(metrics_out)
+        print(f"# metrics report written to {metrics_out}",
+              file=sys.stderr)
+
+
 def cmd_evaluate(args):
     graph = load_graph(args.graph)
     query = parse_query(args.query)
@@ -129,14 +162,14 @@ def cmd_evaluate(args):
         print(f"# semantics: {semantics}; graph: {graph}")
         print(explain_query(query, graph, semantics))
         return 0
-    with active_context(_execution_context(args)):
+    with _observed(args, _execution_context(args)):
         if isinstance(semantics, TrailSemantics):
             answers = evaluate_trails(query, graph, semantics)
         else:
             answers = evaluate(query, graph, semantics)
-    print(f"# {query}")
-    print(f"# semantics: {semantics}; graph: {graph}")
-    _print_answers(answers)
+        print(f"# {query}")
+        print(f"# semantics: {semantics}; graph: {graph}")
+        _print_answers(answers)
     return 0
 
 
@@ -174,7 +207,7 @@ def cmd_batch(args):
         print(f"# graph: {graph}; semantics: {semantics}")
         print(executor.explain(batch))
         return 0
-    with active_context(_execution_context(args)):
+    with _observed(args, _execution_context(args)):
         plan = executor.warm(batch)
         print(f"# graph: {graph}; semantics: {semantics}")
         print(f"# plan: {plan} "
@@ -270,33 +303,35 @@ def cmd_update(args):
 
     print(f"# {query}")
     print(f"# semantics: {semantics}")
-    serve("initial")
-    applied = 0
-    for line_number, op, payload in operations:
-        if op == "eval":
-            # Outside the try: an evaluation failure is an engine/query
-            # problem, not a mutation-script error at this line.
-            serve(f"after {applied} update(s)")
-            continue
-        try:
-            if op == "add-edge":
-                graph.add_edge(*payload)
-            elif op == "add-node":
-                graph.add_node(payload)
-            elif op == "remove-edge":
-                graph.remove_edge(*payload)
-            else:  # remove-node
-                node, cascade = payload
-                graph.remove_node(node, cascade=cascade)
-        except (KeyError, ValueError) as error:
-            # KeyError renders its message repr-quoted; unwrap it.
-            message = error.args[0] if error.args else error
-            raise ValueError(
-                f"{args.mutations}:{line_number}: {message}"
-            ) from error
-        applied += 1
-    if not operations or operations[-1][1] != "eval":
-        serve("final")
+    with _observed(args, ctx):
+        serve("initial")
+        applied = 0
+        for line_number, op, payload in operations:
+            if op == "eval":
+                # Outside the try: an evaluation failure is an
+                # engine/query problem, not a mutation-script error at
+                # this line.
+                serve(f"after {applied} update(s)")
+                continue
+            try:
+                if op == "add-edge":
+                    graph.add_edge(*payload)
+                elif op == "add-node":
+                    graph.add_node(payload)
+                elif op == "remove-edge":
+                    graph.remove_edge(*payload)
+                else:  # remove-node
+                    node, cascade = payload
+                    graph.remove_node(node, cascade=cascade)
+            except (KeyError, ValueError) as error:
+                # KeyError renders its message repr-quoted; unwrap it.
+                message = error.args[0] if error.args else error
+                raise ValueError(
+                    f"{args.mutations}:{line_number}: {message}"
+                ) from error
+            applied += 1
+        if not operations or operations[-1][1] != "eval":
+            serve("final")
     return 0
 
 
@@ -313,6 +348,14 @@ def cmd_analyze(args):
     report = analyze(query, semantics)
     print(f"# {query}")
     print(report.explain())
+    return 0
+
+
+def cmd_stats(args):
+    from repro.devtools.obs import load_report, render_report
+
+    document = load_report(args.report)
+    print(render_report(document))
     return 0
 
 
@@ -403,6 +446,20 @@ def build_parser():
                  f"it exits with code {EXIT_BUDGET}",
         )
 
+    def telemetry_flags(subparser):
+        subparser.add_argument(
+            "--trace", action="store_true",
+            help="record a structured query trace (span tree, per-query "
+                 "counters, checkpoint-site profile) and print it after "
+                 "the results",
+        )
+        subparser.add_argument(
+            "--metrics-out", default=None, metavar="FILE",
+            help="write the process-wide metrics snapshot to FILE as a "
+                 "metrics-report-v1 JSON document (render it with the "
+                 "'stats' subcommand)",
+        )
+
     p_eval = sub.add_parser("evaluate", help="evaluate a query over a graph")
     p_eval.add_argument("query", help='e.g. "Q(x,y) :- x -[(ab)*]-> y"')
     p_eval.add_argument("graph", help="edge-list file: 'source label target'")
@@ -419,6 +476,7 @@ def build_parser():
              "variable domains, atom search order)",
     )
     budget_flags(p_eval)
+    telemetry_flags(p_eval)
     p_eval.set_defaults(func=cmd_evaluate)
 
     p_batch = sub.add_parser(
@@ -445,6 +503,7 @@ def build_parser():
              "relations for the size annotations, executes no query)",
     )
     budget_flags(p_batch)
+    telemetry_flags(p_batch)
     p_batch.set_defaults(func=cmd_batch)
 
     p_upd = sub.add_parser(
@@ -469,6 +528,7 @@ def build_parser():
              "delta / rebuilt, with the reason)",
     )
     budget_flags(p_upd)
+    telemetry_flags(p_upd)
     p_upd.set_defaults(func=cmd_update)
 
     p_an = sub.add_parser(
@@ -481,6 +541,16 @@ def build_parser():
         "--semantics", default="st", help="st | a-inj | q-inj",
     )
     p_an.set_defaults(func=cmd_analyze)
+
+    p_stats = sub.add_parser(
+        "stats",
+        help="validate and render a metrics-report-v1 JSON file "
+             "(written by --metrics-out)",
+    )
+    p_stats.add_argument(
+        "report", help="path to a metrics-report-v1 JSON file",
+    )
+    p_stats.set_defaults(func=cmd_stats)
 
     p_cont = sub.add_parser("contains", help="decide Q1 ⊆ Q2")
     p_cont.add_argument("left")

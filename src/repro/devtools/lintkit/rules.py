@@ -539,6 +539,7 @@ class SemanticsExhaustiveness(Rule):
 LAYERS: tuple[tuple[str, int], ...] = (
     ("repro.errors", 0),
     ("repro.semantics.base", 0),
+    ("repro.engine.telemetry", 0),
     ("repro.engine.backend", 1),
     ("repro.engine.runtime", 1),
     ("repro.regular", 1),
@@ -669,18 +670,28 @@ class ImportLayering(Rule):
 # ----------------------------------------------------------------------
 
 #: (path suffix) → {shared structure name → owning lock name}.  The
-#: structures are the process-wide LRU state in engine/cache.py and the
-#: executor-shared relation store in engine/batch.py — both mutated from
-#: the batch executor's worker threads.
+#: structures are the process-wide LRU state in engine/cache.py, the
+#: executor-shared relation store in engine/batch.py, and the telemetry
+#: instruments in engine/telemetry.py — all mutated from the batch
+#: executor's worker threads.  (The old analysis-stat counters migrated
+#: onto the telemetry registry in PR 10.)
 LOCKED_STRUCTURES: dict[str, dict[str, str]] = {
     "engine/cache.py": {
         "_data": "_lock",
-        "_analysis_hits": "_analysis_stats_lock",
-        "_analysis_misses": "_analysis_stats_lock",
     },
     "engine/batch.py": {
         "_relations": "_lock",
         "_relations_version": "_lock",
+    },
+    "engine/telemetry.py": {
+        "_metrics": "_lock",
+        "_value": "_lock",
+        "_count": "_lock",
+        "_total": "_lock",
+        "_min": "_lock",
+        "_max": "_lock",
+        "_counters": "_lock",
+        "_sites": "_lock",
     },
 }
 
@@ -954,3 +965,120 @@ class BackendSeam(Rule):
                 f"bitset masks through repro.engine.backend "
                 f"(REPRO_BACKEND selection) instead",
             )
+
+
+# ----------------------------------------------------------------------
+# LK010 telemetry-discipline
+# ----------------------------------------------------------------------
+
+#: The telemetry module, the only place allowed to construct its
+#: instrument/trace classes directly.
+TELEMETRY_MODULE = "repro.engine.telemetry"
+
+#: Classes that must be obtained through the registry / context-manager
+#: helpers, never constructed at call sites.  ``TracedAnswers`` is
+#: deliberately absent — callers *do* wrap answer sets themselves.
+TELEMETRY_CLASSES = frozenset(
+    {"Counter", "Gauge", "Histogram", "Span", "QueryTrace",
+     "MetricsRegistry"}
+)
+
+
+@register
+class TelemetryDiscipline(Rule):
+    """Metrics and spans are created only through the telemetry helpers.
+
+    **Origin: PR 10 (engine telemetry).**  Every counter/gauge/histogram
+    lives in the process-wide :class:`~repro.engine.telemetry.MetricsRegistry`
+    (``telemetry.registry().counter(...)`` / ``count()`` / ``observe()``
+    / ``set_gauge()``) so names stay stable, ``snapshot()`` sees
+    everything, and ``reset_for_tests()`` can zero the world; spans open
+    only through the ``telemetry.span(...)`` context manager so the
+    ambient-parent ContextVar is always restored.  A hand-constructed
+    ``Counter`` is invisible to reports; a ``span()`` call outside a
+    ``with`` leaks the current-span state into everything that follows
+    on the thread.  Detection resolves imports — only names actually
+    bound to :mod:`repro.engine.telemetry` are flagged, so e.g.
+    ``collections.Counter`` stays untouched.
+    """
+
+    rule_id = "LK010"
+    rule_name = "telemetry-discipline"
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        if ctx.relpath.endswith("engine/telemetry.py"):
+            return
+        module_aliases, member_aliases = self._telemetry_bindings(ctx)
+        if not module_aliases and not member_aliases:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            member = self._telemetry_member(
+                node, module_aliases, member_aliases
+            )
+            if member is None:
+                continue
+            if member in TELEMETRY_CLASSES:
+                yield self.finding(
+                    ctx, node,
+                    f"direct construction of telemetry.{member} bypasses "
+                    f"the process-wide registry — obtain instruments via "
+                    f"telemetry.registry() (or the count/observe/"
+                    f"set_gauge helpers) and traces via "
+                    f"telemetry.tracing()",
+                )
+            elif member == "span" and not self._is_with_context(ctx, node):
+                yield self.finding(
+                    ctx, node,
+                    "telemetry.span(...) used outside a with-statement — "
+                    "the span context manager must manage the ambient "
+                    "parent (use `with telemetry.span(...):`)",
+                )
+
+    @staticmethod
+    def _telemetry_bindings(
+        ctx: LintContext,
+    ) -> tuple[frozenset[str], dict[str, str]]:
+        """``(module aliases, {local name → telemetry member})`` bound by
+        the file's imports (module- or function-scope alike)."""
+        module_aliases = set()
+        member_aliases: dict[str, str] = {}
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == TELEMETRY_MODULE:
+                        module_aliases.add(alias.asname or alias.name)
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                if node.module == "repro.engine":
+                    for alias in node.names:
+                        if alias.name == "telemetry":
+                            module_aliases.add(alias.asname or "telemetry")
+                elif node.module == TELEMETRY_MODULE:
+                    for alias in node.names:
+                        member_aliases[alias.asname or alias.name] = (
+                            alias.name
+                        )
+        return frozenset(module_aliases), member_aliases
+
+    @staticmethod
+    def _telemetry_member(
+        node: ast.Call,
+        module_aliases: frozenset[str],
+        member_aliases: dict[str, str],
+    ) -> str | None:
+        """The telemetry member a call resolves to, or ``None``."""
+        dotted = _dotted(node.func)
+        if dotted is None:
+            return None
+        if "." in dotted:
+            prefix, _, member = dotted.rpartition(".")
+            return member if prefix in module_aliases else None
+        return member_aliases.get(dotted)
+
+    @staticmethod
+    def _is_with_context(ctx: LintContext, node: ast.Call) -> bool:
+        parent = ctx.parents.get(node)
+        return isinstance(parent, ast.withitem) and (
+            parent.context_expr is node
+        )

@@ -1,0 +1,39 @@
+"""Observability devtools: reports, site profiling, trace sessions.
+
+The engine-side substrate lives in :mod:`repro.engine.telemetry` (layer
+0: the registry, spans, traces).  This package is the tooling layer on
+top of it:
+
+- :mod:`~repro.devtools.obs.report` — the versioned
+  ``metrics-report-v1`` JSON document (build / validate / render /
+  write), the observability twin of lintkit's ``lintkit-report-v1``;
+- :mod:`~repro.devtools.obs.profile` — :class:`SiteProfiler`, a
+  checkpoint-site profiler riding the governor's stacked
+  :data:`~repro.engine.runtime.Probe` hook;
+- :mod:`~repro.devtools.obs.session` — :func:`trace_session`, the
+  one-call composition (context + trace + profiler) behind the CLI's
+  ``--trace`` / ``--metrics-out``.
+"""
+
+from repro.devtools.obs.profile import SiteProfiler, profiling
+from repro.devtools.obs.report import (
+    METRICS_SCHEMA,
+    build_report,
+    load_report,
+    render_report,
+    validate_report,
+    write_report,
+)
+from repro.devtools.obs.session import trace_session
+
+__all__ = [
+    "METRICS_SCHEMA",
+    "SiteProfiler",
+    "build_report",
+    "load_report",
+    "profiling",
+    "render_report",
+    "trace_session",
+    "validate_report",
+    "write_report",
+]

@@ -1,0 +1,94 @@
+"""Checkpoint-site profiling on the governor's stacked probe hook.
+
+Every engine hot loop already calls
+``ctx.checkpoint(SITE_...)`` (lintkit LK008 enforces it); installing a
+:class:`SiteProfiler` as a probe therefore sees every loop iteration of
+an evaluation without touching any engine code.  The profiler keeps an
+exact per-site hit count and a *sampled* wall-time attribution: every
+``sample_every``-th checkpoint overall reads the clock once and charges
+the whole interval since the previous sample to the site that closed
+it — standard sampling-profiler semantics, so the per-site seconds are
+an estimate whose resolution improves as loops get hotter, while the
+common case stays one dict update with no clock read.
+
+Cost note: while *any* probe is installed the governor checks budgets
+at every checkpoint instead of every
+:data:`~repro.engine.runtime.CHECK_INTERVAL` ticks (the fault-injection
+determinism contract), so profiling is strictly an opt-in diagnosis
+mode — the ``--trace`` path — never ambient overhead.  With no probe
+installed this module costs nothing at all.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.engine import telemetry
+from repro.engine.runtime import ExecutionContext
+
+#: Default checkpoint-sampling stride (one clock read per 64 hits).
+DEFAULT_SAMPLE_EVERY = 64
+
+
+class SiteProfiler:
+    """A :data:`~repro.engine.runtime.Probe` that profiles checkpoint
+    sites: exact hit counts, sampled wall-time.  Thread-safe — the
+    batch executor fires checkpoints from pool threads."""
+
+    def __init__(self, sample_every: int = DEFAULT_SAMPLE_EVERY) -> None:
+        self.sample_every = max(1, int(sample_every))
+        self._lock = threading.Lock()
+        self._hits: Dict[str, int] = {}
+        self._sampled: Dict[str, float] = {}
+        self._ticks = 0
+        self._last_sample: Optional[float] = None
+
+    def __call__(self, site: str) -> None:
+        with self._lock:
+            self._hits[site] = self._hits.get(site, 0) + 1
+            self._ticks += 1
+            if self._ticks % self.sample_every:
+                return
+            now = time.perf_counter()
+            last = self._last_sample
+            if last is not None:
+                self._sampled[site] = (
+                    self._sampled.get(site, 0.0) + (now - last)
+                )
+            self._last_sample = now
+
+    def rows(self) -> Tuple[Tuple[str, int, float], ...]:
+        """``(site, hits, sampled_seconds)`` rows, hottest first (ties
+        broken by site name for deterministic rendering)."""
+        with self._lock:
+            hits = dict(self._hits)
+            sampled = dict(self._sampled)
+        return tuple(
+            (site, hits[site], sampled.get(site, 0.0))
+            for site in sorted(hits, key=lambda s: (-hits[s], s))
+        )
+
+
+@contextmanager
+def profiling(
+    ctx: ExecutionContext, sample_every: int = DEFAULT_SAMPLE_EVERY
+) -> Iterator[SiteProfiler]:
+    """Install a fresh :class:`SiteProfiler` on ``ctx`` for the block.
+
+    The probe stacks with any already installed (fault injection keeps
+    working); on exit only this profiler is popped, and its rows are
+    attached to the context's active
+    :class:`~repro.engine.telemetry.QueryTrace`, if one is riding.
+    """
+    profiler = SiteProfiler(sample_every)
+    handle = ctx.install_probe(profiler)
+    try:
+        yield profiler
+    finally:
+        ctx.remove_probe(handle)
+        trace = getattr(ctx, "trace", None)
+        if isinstance(trace, telemetry.QueryTrace):
+            trace.attach_site_profile(profiler.rows())

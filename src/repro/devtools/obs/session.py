@@ -1,0 +1,48 @@
+"""One-call trace sessions: context + trace + site profiler.
+
+The CLI's ``--trace`` needs three things composed in the right order:
+an :class:`~repro.engine.runtime.ExecutionContext` for the trace to
+ride on (never the shared unbounded default), a
+:class:`~repro.engine.telemetry.QueryTrace` attached to it, and — when
+profiling — a :class:`~repro.devtools.obs.profile.SiteProfiler`
+stacked onto the context's probes.  :func:`trace_session` is that
+composition; plain ``evaluate()`` / batch calls made inside the block
+emit their spans and counters into the yielded trace.
+"""
+
+from __future__ import annotations
+
+from contextlib import ExitStack, contextmanager
+from typing import Iterator, Optional
+
+from repro.devtools.obs.profile import DEFAULT_SAMPLE_EVERY, profiling
+from repro.engine import telemetry
+from repro.engine.runtime import (
+    ExecutionContext,
+    activated_context,
+    active_context,
+)
+
+
+@contextmanager
+def trace_session(
+    ctx: Optional[ExecutionContext] = None,
+    profile: bool = True,
+    sample_every: int = DEFAULT_SAMPLE_EVERY,
+    name: str = "query",
+) -> Iterator[telemetry.QueryTrace]:
+    """Run the block under an active, traced execution context.
+
+    ``ctx`` defaults to the ambient active context when one exists
+    (e.g. the CLI's budget flags already activated one), else a fresh
+    unbounded context scoped to the block.  ``profile=True`` stacks a
+    checkpoint-site profiler whose rows land on the trace at exit.
+    """
+    if ctx is None:
+        ctx = activated_context() or ExecutionContext()
+    with ExitStack() as stack:
+        stack.enter_context(active_context(ctx))
+        trace = stack.enter_context(telemetry.tracing(ctx, name))
+        if profile:
+            stack.enter_context(profiling(ctx, sample_every))
+        yield trace

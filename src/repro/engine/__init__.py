@@ -28,7 +28,11 @@ three pieces (see ARCHITECTURE.md for the full picture):
 - :mod:`repro.engine.planner` — the st / a-inj glue: GYO acyclicity
   test → Yannakakis semijoin pipeline for acyclic disjuncts; semijoin
   pre-reduction + min-degree variable elimination for cyclic ones, with
-  the backtracking matcher as the fallback on the reduced residue.
+  the backtracking matcher as the fallback on the reduced residue;
+- :mod:`repro.engine.telemetry` — the layer-0 observability substrate:
+  the process-wide :class:`MetricsRegistry` every subsystem above
+  counts into, and the :class:`QueryTrace`/span machinery riding
+  :class:`~repro.engine.runtime.ExecutionContext`.
 
 Everything here is output-equivalent to the seed implementations; the
 differential suite (``tests/test_engine_differential.py``) pins that.
@@ -47,6 +51,13 @@ from repro.engine.join import TupleRelation, natural_join, project, semijoin
 from repro.engine.planner import JoinPlan, explain_query, plan_eps_free
 from repro.engine.product import product_reachability_pairs
 from repro.engine.relations import Relation, atom_relation_index
+from repro.engine.telemetry import (
+    MetricsRegistry,
+    QueryTrace,
+    TracedAnswers,
+    current_trace,
+)
+from repro.engine.telemetry import registry as metrics_registry
 
 __all__ = [
     "AdjacencyIndex",
@@ -61,6 +72,11 @@ __all__ = [
     "explain_query",
     "invalidate_engine_caches",
     "JoinPlan",
+    "MetricsRegistry",
+    "QueryTrace",
+    "TracedAnswers",
+    "current_trace",
+    "metrics_registry",
     "natural_join",
     "plan_eps_free",
     "product_reachability_pairs",

@@ -42,6 +42,8 @@ from array import array
 from contextlib import contextmanager
 from typing import Any, Iterator, List, Optional
 
+from repro.engine import telemetry
+
 try:  # pragma: no cover - exercised indirectly via both branches in CI
     import numpy as _numpy
 except Exception:  # pragma: no cover - the no-NumPy CI environment
@@ -52,6 +54,13 @@ BACKEND_ENV = "REPRO_BACKEND"
 
 #: Valid backend names, in documentation order.
 BACKEND_NAMES = ("python", "array")
+
+
+def numpy_available() -> bool:
+    """True when NumPy imported, so the array backend's wide masks run
+    vectorized (telemetry reports record this so perf trajectories stay
+    attributable to the actual kernel in play)."""
+    return _numpy is not None
 
 def index_array(values: Any = ()) -> "array[int]":
     """A signed 64-bit index array (the CSR offsets/targets type)."""
@@ -277,6 +286,7 @@ def active_backend() -> Backend:
     backend = _default
     if backend is None:
         backend = _default = _named(os.environ.get(BACKEND_ENV, "array"))
+        telemetry.count(f"backend.selected.{backend.name}")
     return backend
 
 
@@ -290,6 +300,7 @@ def use_backend(name: str) -> Iterator[Backend]:
     """
     global _override
     backend = _named(name)
+    telemetry.count(f"backend.selected.{backend.name}")
     previous = _override
     _override = backend
     try:

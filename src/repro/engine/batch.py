@@ -42,6 +42,7 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
+from repro.engine import telemetry
 from repro.engine.cache import compiled_nfa, query_result
 from repro.engine.runtime import (
     active_context,
@@ -55,6 +56,11 @@ from repro.semantics.base import Semantics
 SITE_BATCH_ENTRY = checkpoint_site(
     "batch.entry", "batch query evaluation (per analyzed disjunct)"
 )
+
+_ATOMS_TOTAL = telemetry.registry().counter("batch.atoms.total")
+_ATOMS_SHARED = telemetry.registry().counter("batch.atoms.shared")
+_STORE_WARMED = telemetry.registry().counter("batch.store.warmed")
+_WORKERS = telemetry.registry().gauge("batch.workers")
 
 
 @dataclass(frozen=True)
@@ -233,7 +239,7 @@ class BatchExecutor:
                     job = atom_job(atom, self.semantics)
                     if job is not None:
                         jobs.setdefault(job, None)
-        return BatchPlan(
+        plan = BatchPlan(
             semantics=self.semantics,
             num_queries=len(batch),
             num_disjuncts=num_disjuncts,
@@ -241,6 +247,9 @@ class BatchExecutor:
             num_distinct_languages=len(languages),
             jobs=tuple(jobs),
         )
+        _ATOMS_TOTAL.inc(plan.num_atoms)
+        _ATOMS_SHARED.inc(plan.num_shared_atoms)
+        return plan
 
     def warm(self, batch):
         """Compute every distinct atom relation the batch needs.
@@ -272,12 +281,14 @@ class BatchExecutor:
                 for job, pairs in zip(missing, computed):
                     if pairs is not None:
                         self._relations[job] = pairs
+                        _STORE_WARMED.inc()
         else:
             for job in missing:
                 pairs = self._guarded_job(job, ctx)
                 if pairs is not None:
                     with self._lock:
                         self._relations[job] = pairs
+                        _STORE_WARMED.inc()
         return plan
 
     def _guarded_job(self, job, ctx):
@@ -375,6 +386,7 @@ class BatchExecutor:
         entries = batch.entries
         ctx = current_context()
         pool_size = self._pool_size(len(entries))
+        _WORKERS.set(pool_size)
         if pool_size > 1:
             with ThreadPoolExecutor(pool_size) as pool:
                 answer_stream = pool.map(
@@ -396,10 +408,19 @@ class BatchExecutor:
         """One isolated query evaluation: its answers, or the
         structured :class:`BatchError` carrying what went wrong.  The
         batch's execution context is re-activated explicitly — context
-        variables do not propagate into pool worker threads."""
+        variables do not propagate into pool worker threads (so an
+        entry span opened on a pool thread parents to the trace root,
+        the documented contract)."""
         try:
             with active_context(ctx):
-                return self._entry_answers(entry, ctx)
+                with telemetry.span("batch-entry", index=index) as span:
+                    answers = self._entry_answers(entry, ctx)
+                trace = telemetry.current_trace()
+                if trace is not None:
+                    return telemetry.TracedAnswers(
+                        answers, trace=trace, span=span
+                    )
+                return answers
         except (ResourceExhausted, EvaluationCancelled) as error:
             if on_budget == "raise":
                 raise

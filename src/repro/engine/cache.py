@@ -19,8 +19,14 @@ Four cache families live here:
   the static analyzer's :class:`~repro.engine.analyze.AnalysisReport`.
   Deliberately *graph-free*: analysis facts and rewrites depend only on
   the query and the semantics, so reports survive graph mutations and
-  are shared across the batch and incremental layers.  Hit/miss
-  counters are exposed for tests and the CLI.
+  are shared across the batch and incremental layers.
+
+Every family reports hits/misses to the telemetry registry
+(``cache.nfa.*`` / ``cache.relation.*`` / ``cache.result.*`` /
+``cache.analysis.*``); :func:`analysis_cache_stats` reads the registry
+counters, and :func:`repro.engine.telemetry.reset_for_tests` zeroes
+them (the old module-global counters leaked across tests and batch
+runs with no reset hook).
 
 Graph-scoped caches are stored on the graph instance and keyed by its
 mutation counter (``GraphDatabase.version``): any ``add_node`` /
@@ -37,8 +43,9 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Any, Callable, Iterable
+from typing import Any, Callable, Iterable, Optional
 
+from repro.engine import telemetry
 from repro.engine.adjacency import adjacency_index
 from repro.regular.nfa import NFA
 from repro.regular.syntax import Regex
@@ -52,6 +59,17 @@ from repro.regular.syntax import Regex
 _NFA_CACHE_CAP = 4096
 _GRAPH_CACHE_CAP = 4096
 _ANALYSIS_CACHE_CAP = 1024
+
+# Stable dotted names — the cache family's slice of the metric naming
+# scheme (ARCHITECTURE.md "Observability").
+_NFA_HITS = telemetry.registry().counter("cache.nfa.hits")
+_NFA_MISSES = telemetry.registry().counter("cache.nfa.misses")
+_RELATION_HITS = telemetry.registry().counter("cache.relation.hits")
+_RELATION_MISSES = telemetry.registry().counter("cache.relation.misses")
+_RESULT_HITS = telemetry.registry().counter("cache.result.hits")
+_RESULT_MISSES = telemetry.registry().counter("cache.result.misses")
+_ANALYSIS_HITS = telemetry.registry().counter("cache.analysis.hits")
+_ANALYSIS_MISSES = telemetry.registry().counter("cache.analysis.misses")
 
 
 class _LRUCache:
@@ -110,8 +128,11 @@ def compiled_nfa(language: Any, state_prefix: str = "") -> NFA:
     key = (language, state_prefix)
     nfa: NFA | None = _nfa_cache.get(key)
     if nfa is None:
+        _NFA_MISSES.inc()
         nfa = NFA.from_regex(language, state_prefix=state_prefix)
         _nfa_cache.put(key, nfa)
+    else:
+        _NFA_HITS.inc()
     return nfa
 
 
@@ -155,9 +176,6 @@ def language_is_empty(language: Any) -> bool:
 # ----------------------------------------------------------------------
 
 _analysis_cache = _LRUCache(_ANALYSIS_CACHE_CAP)
-_analysis_stats_lock = threading.Lock()
-_analysis_hits = 0
-_analysis_misses = 0
 
 
 def analysis_report(key: Any, compute: Callable[[], Any]) -> Any:
@@ -168,14 +186,11 @@ def analysis_report(key: Any, compute: Callable[[], Any]) -> Any:
     every graph and survives every mutation (the incremental layer's
     requirement).  ``compute`` runs on a miss; its result is assumed
     immutable."""
-    global _analysis_hits, _analysis_misses
     report = _analysis_cache.get(key)
     if report is not None:
-        with _analysis_stats_lock:
-            _analysis_hits += 1
+        _ANALYSIS_HITS.inc()
         return report
-    with _analysis_stats_lock:
-        _analysis_misses += 1
+    _ANALYSIS_MISSES.inc()
     report = compute()
     _analysis_cache.put(key, report)
     return report
@@ -184,22 +199,22 @@ def analysis_report(key: Any, compute: Callable[[], Any]) -> Any:
 def analysis_cache_stats() -> dict[str, int]:
     """``{"hits": int, "misses": int, "entries": int}`` for the
     analysis-report cache (tests pin that reports are reused across
-    graph versions)."""
-    with _analysis_stats_lock:
-        return {
-            "hits": _analysis_hits,
-            "misses": _analysis_misses,
-            "entries": len(_analysis_cache),
-        }
+    graph versions).  Backed by the ``cache.analysis.*`` registry
+    counters since the telemetry PR — reset via
+    :func:`clear_analysis_cache` or
+    :func:`repro.engine.telemetry.reset_for_tests`."""
+    return {
+        "hits": _ANALYSIS_HITS.value,
+        "misses": _ANALYSIS_MISSES.value,
+        "entries": len(_analysis_cache),
+    }
 
 
 def clear_analysis_cache() -> None:
     """Drop every memoized analysis report and reset the counters."""
-    global _analysis_hits, _analysis_misses
     _analysis_cache.clear()
-    with _analysis_stats_lock:
-        _analysis_hits = 0
-        _analysis_misses = 0
+    _ANALYSIS_HITS.reset()
+    _ANALYSIS_MISSES.reset()
 
 
 # ----------------------------------------------------------------------
@@ -264,9 +279,27 @@ def graph_cached(graph: Any, key: Any, compute: Callable[[], Any]) -> Any:
 
 
 def _get_or_compute(
-    graph: Any, key: Any, compute: Callable[[], Iterable[Any]]
+    graph: Any,
+    key: Any,
+    compute: Callable[[], Iterable[Any]],
+    hits: Optional[telemetry.Counter] = None,
+    misses: Optional[telemetry.Counter] = None,
 ) -> Any:
-    return graph_cached(graph, key, lambda: frozenset(compute()))
+    """:func:`graph_cached` specialized to frozen relation values, with
+    optional hit/miss instrumentation (one counter bump per lookup — no
+    cost inside the compute path)."""
+    cache = _graph_cache(graph)
+    value = cache.get(key)
+    if value is None:
+        if misses is not None:
+            misses.inc()
+        value = frozenset(compute())
+        if len(cache) >= _GRAPH_CACHE_CAP:
+            cache.clear()
+        cache[key] = value
+    elif hits is not None:
+        hits.inc()
+    return value
 
 
 def atom_relation(
@@ -290,7 +323,13 @@ def atom_relation(
         store = getattr(graph, "_incremental_store", None)
         if store is not None:
             compute = lambda: store.standard_pairs(language)  # noqa: E731
-    return _get_or_compute(graph, (kind, _language_key(language)), compute)
+    return _get_or_compute(
+        graph,
+        (kind, _language_key(language)),
+        compute,
+        hits=_RELATION_HITS,
+        misses=_RELATION_MISSES,
+    )
 
 
 def query_result(
@@ -315,7 +354,13 @@ def query_result(
     if store is not None:
         inner = compute
         compute = lambda: store.query_result(semantics, query, inner)  # noqa: E731
-    return _get_or_compute(graph, ("query", semantics, query), compute)
+    return _get_or_compute(
+        graph,
+        ("query", semantics, query),
+        compute,
+        hits=_RESULT_HITS,
+        misses=_RESULT_MISSES,
+    )
 
 
 def coreachable_states(graph: Any, nfa: NFA, target: Any) -> frozenset[Any]:

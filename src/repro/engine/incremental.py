@@ -66,6 +66,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 
+from repro.engine import telemetry
 from repro.engine.cache import compiled_nfa, reversed_nfa
 from repro.engine.relations import Relation
 from repro.engine.runtime import checkpoint_site, resolve_context
@@ -91,6 +92,17 @@ DECISION_LOG_CAP = 512
 
 #: Maximum number of reusable query results kept per store (LRU).
 QUERY_RESULT_CAP = 512
+
+#: Global maintenance-decision counters (per-store totals live on the
+#: store's own ``counts``; these aggregate across stores for ``stats``).
+_DECISION_COUNTERS = {
+    "built": telemetry.registry().counter("incremental.built"),
+    "maintained": telemetry.registry().counter("incremental.maintained"),
+    "rebuilt": telemetry.registry().counter("incremental.rebuilt"),
+    "results_reused": telemetry.registry().counter(
+        "incremental.results_reused"
+    ),
+}
 
 
 def _decode(mask, node_of):
@@ -372,6 +384,7 @@ class IncrementalRelationStore:
 
     def _decide(self, action, state, description):
         self._counts[action] += 1
+        _DECISION_COUNTERS[action].inc()
         self._decisions.append((self.graph.version, state.label, description))
         if len(self._decisions) > DECISION_LOG_CAP:
             del self._decisions[:len(self._decisions) - DECISION_LOG_CAP]
@@ -456,6 +469,7 @@ class IncrementalRelationStore:
                         and old_nodes == nodes):
                     self._query_results.move_to_end(key)
                     self._counts["results_reused"] += 1
+                    _DECISION_COUNTERS["results_reused"].inc()
                     return answers
         answers = frozenset(compute())
         with self._lock:
@@ -495,7 +509,8 @@ class IncrementalRelationStore:
                     self._states.popitem(last=False)
             elif state.version != graph.version:
                 try:
-                    self._refresh(state)
+                    with telemetry.span("repair", relation=state.label):
+                        self._refresh(state)
                 except BaseException:
                     # A deadline/cancellation/injected fault mid-repair
                     # leaves the maintained masks inconsistent.  Never

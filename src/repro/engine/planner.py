@@ -30,6 +30,7 @@ to shrink the candidate space before backtracking.
 
 from __future__ import annotations
 
+from repro.engine import telemetry
 from repro.engine.adjacency import adjacency_index
 from repro.engine.backend import active_backend
 from repro.engine.cache import language_is_empty
@@ -64,6 +65,15 @@ SITE_PLANNER_ELIMINATE = checkpoint_site(
     "planner.eliminate", "variable-elimination joins (per intermediate join)"
 )
 
+_COMPONENTS_ACYCLIC = telemetry.registry().counter("planner.components.acyclic")
+_COMPONENTS_CYCLIC = telemetry.registry().counter("planner.components.cyclic")
+_COMPONENTS_DOMAIN = telemetry.registry().counter("planner.components.domain")
+_MATCHER_FALLBACKS = telemetry.registry().counter("planner.fallback.matcher")
+_SEMIJOIN_PASSES = telemetry.registry().counter("planner.semijoin.passes")
+_SEMIJOIN_ROWS_REMOVED = telemetry.registry().counter(
+    "planner.semijoin.rows_removed"
+)
+
 
 class EliminationOverflow(Exception):
     """Internal signal: a variable-elimination join outgrew the cap."""
@@ -87,6 +97,7 @@ def semijoin_reduce(tables, ctx=None):
     changed = True
     while changed:
         changed = False
+        _SEMIJOIN_PASSES.inc()
         domains = {}
         for table in tables:
             ctx.checkpoint(SITE_PLANNER_REDUCE)
@@ -102,6 +113,7 @@ def semijoin_reduce(tables, ctx=None):
                 filtered = filter_rows(filtered, variable,
                                        domains[variable])
             if len(filtered) != len(table):
+                _SEMIJOIN_ROWS_REMOVED.inc(len(table) - len(filtered))
                 tables[position] = filtered
                 changed = True
             if filtered.is_empty():
@@ -500,6 +512,7 @@ class JoinPlan:
         """The pre-join-engine CSP glue, run only on the semijoin-reduced
         residue of a cyclic component (first-witness exit in existence
         mode)."""
+        _MATCHER_FALLBACKS.inc()
         from repro.graphdb.graph import GraphDatabase
         from repro.homomorphism.matcher import homomorphisms
         from repro.queries.atoms import CQAtom
@@ -629,6 +642,7 @@ def plan_eps_free(query, graph, semantics, relation_for=None, binding=None):
                    if p.atom.source in member_vars]
         out_vars = tuple(sorted(head_vars & member_vars, key=repr))
         if not members:
+            _COMPONENTS_DOMAIN.inc()
             components.append(ComponentPlan(
                 ComponentPlan.DOMAIN, member_vars, (), out_vars))
             continue
@@ -639,6 +653,7 @@ def plan_eps_free(query, graph, semantics, relation_for=None, binding=None):
         }
         acyclic, parent, root = gyo_reduce(hyperedges)
         if acyclic:
+            _COMPONENTS_ACYCLIC.inc()
             components.append(ComponentPlan(
                 ComponentPlan.ACYCLIC, member_vars, members, out_vars,
                 parent=parent, root=root))
@@ -648,6 +663,7 @@ def plan_eps_free(query, graph, semantics, relation_for=None, binding=None):
                 [(p.atom.source, p.atom.target) for p in members],
                 keep=out_vars,
             )
+            _COMPONENTS_CYCLIC.inc()
             components.append(ComponentPlan(
                 ComponentPlan.CYCLIC, member_vars, members, out_vars,
                 elimination_order=order))

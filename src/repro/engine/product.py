@@ -26,6 +26,7 @@ from __future__ import annotations
 from itertools import product as _cartesian
 from typing import Any, Iterator, Optional
 
+from repro.engine import telemetry
 from repro.engine.adjacency import AdjacencyIndex, adjacency_index
 from repro.engine.backend import Backend, active_backend
 from repro.engine.runtime import ExecutionContext, checkpoint_site, resolve_context
@@ -38,6 +39,8 @@ SITE_PRODUCT_SWEEP = checkpoint_site(
     "product.sweep",
     "product-reachability forward exploration (per product node expanded)",
 )
+
+_DENSE_DISPATCH = telemetry.registry().counter("backend.dense_dispatch")
 
 
 def product_reachability_pairs(
@@ -56,6 +59,7 @@ def product_reachability_pairs(
 
     backend = active_backend()
     if backend.dense_kernels:
+        _DENSE_DISPATCH.inc()
         pairs.update(_dense_reachability_pairs(index, nfa, ctx, backend))
         return pairs
 

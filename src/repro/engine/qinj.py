@@ -47,6 +47,7 @@ from __future__ import annotations
 import itertools
 import threading
 
+from repro.engine import telemetry
 from repro.engine.adjacency import adjacency_index
 from repro.engine.backend import active_backend
 from repro.engine.cache import compiled_nfa, graph_cached, language_is_empty
@@ -70,6 +71,8 @@ SITE_QINJ_SEARCH = checkpoint_site(
 SITE_QINJ_WITNESS = checkpoint_site(
     "qinj.witness", "lazy witness replay/enumeration (per path position)"
 )
+
+_PRUNED_EMPTY = telemetry.registry().counter("qinj.pruned_empty")
 
 
 # ----------------------------------------------------------------------
@@ -519,6 +522,7 @@ def plan_qinj(query, graph, binding=None, relation_for=None):
                 )
                 break
     if empty_reason is not None:
+        _PRUNED_EMPTY.inc()
         return QinjPlan(query, graph, binding, empty_reason, atoms, nfas,
                         (), {}, {}, base_sizes)
 

@@ -45,6 +45,7 @@ from contextvars import ContextVar
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, Iterator, Optional, Tuple
 
+from repro.engine import telemetry
 from repro.errors import EvaluationCancelled, EvaluationTimeout, ResourceExhausted
 
 #: Real budget checks run once per this many checkpoint hits (per context).
@@ -174,9 +175,12 @@ class ExecutionContext:
 
     ``checkpoint(site)`` is the only method hot loops call; it is an
     increment-and-compare on the fast path.  ``interval`` controls the
-    amortization window (tests shrink it for exactness); installing a
-    probe forces a real check on every hit so fault injection is
-    deterministic.
+    amortization window (tests shrink it for exactness); while at least
+    one probe is installed every hit runs a real check so fault
+    injection is deterministic.  ``trace`` optionally carries the
+    :class:`~repro.engine.telemetry.QueryTrace` this context's work
+    reports into (attached by :func:`repro.engine.telemetry.tracing`,
+    never set on the shared unbounded default).
     """
 
     __slots__ = (
@@ -184,11 +188,12 @@ class ExecutionContext:
         "token",
         "started",
         "deadline",
+        "trace",
         "_ticks",
         "_witnesses",
         "_interval",
         "_next_check",
-        "_probe",
+        "_probes",
     )
 
     def __init__(
@@ -206,11 +211,12 @@ class ExecutionContext:
             if self.budget.timeout is not None
             else None
         )
+        self.trace: Optional[telemetry.QueryTrace] = None
         self._ticks = 0
         self._witnesses = 0
         self._interval = max(1, interval)
         self._next_check = self._interval
-        self._probe: Optional[Probe] = None
+        self._probes: Tuple[Tuple[object, Probe], ...] = ()
 
     @property
     def ticks(self) -> int:
@@ -226,26 +232,43 @@ class ExecutionContext:
         """Wall-clock seconds since this context was created."""
         return time.monotonic() - self.started
 
-    def install_probe(self, probe: Probe) -> None:
-        """Install a per-hit hook (fault injection / hit counting).
+    def install_probe(self, probe: Probe) -> object:
+        """Install a per-hit hook (fault injection / site profiling).
 
-        While a probe is installed every checkpoint runs a real check,
-        so an injected fault fires at a deterministic hit count.
+        Probes *stack*: installing a second probe no longer replaces
+        the first, so a :class:`~repro.devtools.obs.profile.
+        SiteProfiler` and :func:`repro.devtools.faultinject.inject` can
+        coexist on one context.  Probes fire in installation order.
+        While at least one probe is installed every checkpoint runs a
+        real check, so an injected fault fires at a deterministic hit
+        count.  Returns an opaque handle for :meth:`remove_probe`.
         """
-        self._probe = probe
+        handle: object = object()
+        self._probes = self._probes + ((handle, probe),)
         self._next_check = self._ticks + 1
+        return handle
 
-    def remove_probe(self) -> None:
-        self._probe = None
-        self._next_check = self._ticks + self._interval
+    def remove_probe(self, handle: Optional[object] = None) -> None:
+        """Remove the probe installed under ``handle``; with no handle,
+        remove every probe (the pre-stacking clear-all behaviour).
+        Amortization resumes once the last probe is gone."""
+        if handle is None:
+            self._probes = ()
+        else:
+            self._probes = tuple(
+                entry for entry in self._probes if entry[0] is not handle
+            )
+        if not self._probes:
+            self._next_check = self._ticks + self._interval
 
     def checkpoint(self, site: str) -> None:
         """Amortized budget/cancellation check at a registered site."""
         ticks = self._ticks + 1
         self._ticks = ticks
-        probe = self._probe
-        if probe is not None:
-            probe(site)
+        probes = self._probes
+        if probes:
+            for _handle, probe in probes:
+                probe(site)
             self._check(site, ticks)
             return
         if ticks >= self._next_check:
@@ -254,11 +277,13 @@ class ExecutionContext:
 
     def _check(self, site: str, ticks: int) -> None:
         if self.token.cancelled:
+            telemetry.count("governor.cancelled")
             raise EvaluationCancelled(site=site)
         deadline = self.deadline
         if deadline is not None:
             now = time.monotonic()
             if now > deadline:
+                _count_exhaustion("deadline", site)
                 raise EvaluationTimeout(
                     f"wall-clock deadline of {self.budget.timeout}s exceeded"
                     f" at {site}",
@@ -268,6 +293,7 @@ class ExecutionContext:
                 )
         step_cap = self.budget.step_cap
         if step_cap is not None and ticks > step_cap:
+            _count_exhaustion("steps", site)
             raise ResourceExhausted(
                 f"step budget of {step_cap} exhausted at {site}",
                 kind="steps",
@@ -280,6 +306,7 @@ class ExecutionContext:
         """Enforce the row cap on an intermediate table of ``count`` rows."""
         cap = self.budget.row_cap
         if cap is not None and count > cap:
+            _count_exhaustion("rows", site)
             raise ResourceExhausted(
                 f"row budget of {cap} exceeded ({count} rows) at {site}",
                 kind="rows",
@@ -294,6 +321,7 @@ class ExecutionContext:
         self._witnesses = total
         cap = self.budget.witness_cap
         if cap is not None and total > cap:
+            _count_exhaustion("witnesses", site)
             raise ResourceExhausted(
                 f"witness budget of {cap} exceeded ({total} paths) at {site}",
                 kind="witnesses",
@@ -301,6 +329,14 @@ class ExecutionContext:
                 progress=total,
                 site=site,
             )
+
+
+def _count_exhaustion(kind: str, site: str) -> None:
+    """Record one budget trip by kind and by the site that caught it —
+    the governor half of the telemetry surface (cold path: runs only
+    when an evaluation is about to raise)."""
+    telemetry.count(f"governor.exhausted.{kind}")
+    telemetry.count(f"governor.exhausted.site.{site}")
 
 
 _ACTIVE: "ContextVar[Optional[ExecutionContext]]" = ContextVar(
@@ -316,6 +352,14 @@ def current_context() -> ExecutionContext:
     """The ambient execution context (an unbounded default if none set)."""
     active = _ACTIVE.get()
     return _UNBOUNDED if active is None else active
+
+
+def activated_context() -> Optional[ExecutionContext]:
+    """The explicitly-activated ambient context, or ``None`` when the
+    shared unbounded default would govern.  Lets callers distinguish
+    "a caller bound a context" (safe to attach a trace to) from the
+    process-wide fallback (never attach anything to it)."""
+    return _ACTIVE.get()
 
 
 def resolve_context(ctx: Optional[ExecutionContext]) -> ExecutionContext:
@@ -340,3 +384,9 @@ def active_context(
         yield ctx
     finally:
         _ACTIVE.reset(token)
+
+
+# The telemetry layer sits below this module (layer 0, stdlib-only);
+# hand it the ambient-context reader so the active QueryTrace is
+# discoverable without an upward import.
+telemetry.install_context_provider(current_context)

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import itertools
 
+from repro.engine import telemetry
 from repro.engine.adjacency import adjacency_index
 from repro.engine.analyze import analyzed_disjuncts
 from repro.engine.cache import compiled_nfa, query_result
@@ -45,6 +46,7 @@ from repro.engine.runtime import (
     ExecutionContext,
     PartialAnswers,
     ResourceBudget,
+    activated_context,
     active_context,
 )
 from repro.errors import EvaluationCancelled, ResourceExhausted
@@ -76,7 +78,7 @@ def _check_on_budget(on_budget):
 
 
 def evaluate(query, graph, semantics, *, budget=None, timeout=None,
-             on_budget="raise"):
+             on_budget="raise", trace=False):
     """Return Q(G)★ as a frozenset of node tuples.
 
     ``query`` may be a CRPQ, a CQ, or a union (tuple/list) of them; the
@@ -102,20 +104,52 @@ def evaluate(query, graph, semantics, *, budget=None, timeout=None,
     ``error``) holding the answers of the disjuncts that *completed* —
     a sound subset of the full answer set, never partial output of an
     interrupted disjunct.
+
+    ``trace=True`` records a structured
+    :class:`~repro.engine.telemetry.QueryTrace` (span tree plus the
+    query's counter deltas) and returns a
+    :class:`~repro.engine.telemetry.TracedAnswers` — the same frozenset
+    with the trace on ``.trace``.  A trace needs an execution context to
+    ride on: the bounded one, else the ambient active context, else a
+    fresh unbounded one scoped to this call.
     """
     _check_on_budget(on_budget)
     semantics = Semantics.coerce(semantics)
     ctx = _bounded_context(budget, timeout)
+    if trace and ctx is None and activated_context() is None:
+        ctx = ExecutionContext()
+    results = set()
+    query_trace = None
     try:
         with active_context(ctx):
-            results = set()
-            for eps_free in analyzed_disjuncts(query, semantics):
-                results |= evaluate_eps_free(eps_free, graph, semantics)
+            if trace:
+                with telemetry.tracing(ctx or activated_context()) \
+                        as query_trace:
+                    _union_disjuncts(query, graph, semantics, results)
+            else:
+                _union_disjuncts(query, graph, semantics, results)
     except (ResourceExhausted, EvaluationCancelled) as error:
         if on_budget == "raise":
             raise
-        return PartialAnswers(results, complete=False, error=error)
+        partial = PartialAnswers(results, complete=False, error=error)
+        if query_trace is not None:
+            partial.trace = query_trace
+        return partial
+    if query_trace is not None:
+        return telemetry.TracedAnswers(
+            results, trace=query_trace, span=query_trace.root
+        )
     return frozenset(results)
+
+
+def _union_disjuncts(query, graph, semantics, results):
+    """Accumulate every analyzed disjunct's answers into ``results``
+    (mutated in place so ``on_budget="partial"`` sees completed
+    disjuncts), under an ``analyze`` span when a trace is active."""
+    with telemetry.span("analyze", semantics=str(semantics)):
+        disjuncts = analyzed_disjuncts(query, semantics)
+    for eps_free in disjuncts:
+        results |= evaluate_eps_free(eps_free, graph, semantics)
 
 
 def evaluate_batch(queries, graph, semantics, max_workers=None, *,
@@ -204,10 +238,15 @@ def eps_free_answers_uncached(query, graph, semantics, relation_for=None):
     relations the guided search prunes with.
     """
     if semantics is Semantics.QUERY_INJECTIVE:
-        plan = plan_qinj(query, graph, relation_for=relation_for)
+        with telemetry.span("plan", kind="qinj"):
+            plan = plan_qinj(query, graph, relation_for=relation_for)
+        with telemetry.span("execute", kind="qinj"):
+            return plan.answers()
+    with telemetry.span("plan", kind="join"):
+        plan = plan_eps_free(query, graph, semantics,
+                             relation_for=relation_for)
+    with telemetry.span("execute", kind="join"):
         return plan.answers()
-    plan = plan_eps_free(query, graph, semantics, relation_for=relation_for)
-    return plan.answers()
 
 
 def _check_eps_free(query, graph, target_tuple, semantics):

@@ -50,13 +50,13 @@ def rule_ids(result):
 # ----------------------------------------------------------------------
 
 
-def test_registry_has_all_nine_rules():
+def test_registry_has_all_ten_rules():
     rules = core.registered_rules()
     assert [rule.rule_id for rule in rules] == [
-        f"LK{index:03d}" for index in range(1, 10)
+        f"LK{index:03d}" for index in range(1, 11)
     ]
     names = {rule.rule_name for rule in rules}
-    assert len(names) == 9
+    assert len(names) == 10
 
 
 def test_rule_lookup_by_id_and_name():
@@ -587,6 +587,100 @@ def test_lk009_quiet_on_seam_consumers(tmp_path):
     result = lint_snippet(
         tmp_path, "repro/engine/planner.py", LK009_SEAM_USER_OK,
         rule="backend-seam",
+    )
+    assert result.findings == []
+
+
+# ----------------------------------------------------------------------
+# LK010 telemetry-discipline
+# ----------------------------------------------------------------------
+
+
+LK010_DIRECT_COUNTER = """
+    from repro.engine.telemetry import Counter
+
+    HITS = Counter("cache.nfa.hits")
+"""
+
+LK010_MODULE_ALIAS_CONSTRUCTION = """
+    from repro.engine import telemetry
+
+    def fresh_registry():
+        return telemetry.MetricsRegistry()
+"""
+
+LK010_BARE_SPAN_CALL = """
+    from repro.engine import telemetry
+
+    def run():
+        telemetry.span("execute", kind="join")
+        return 1
+"""
+
+LK010_REGISTRY_OK = """
+    from repro.engine import telemetry
+
+    HITS = telemetry.registry().counter("cache.nfa.hits")
+
+    def run():
+        with telemetry.span("execute", kind="join"):
+            telemetry.count("governor.cancelled")
+"""
+
+LK010_COLLECTIONS_COUNTER_OK = """
+    from collections import Counter
+
+    def tally(values):
+        return Counter(values)
+"""
+
+
+def test_lk010_fires_on_direct_instrument_construction(tmp_path):
+    result = lint_snippet(
+        tmp_path, "repro/engine/cache.py", LK010_DIRECT_COUNTER,
+        rule="telemetry-discipline",
+    )
+    assert rule_ids(result) == ["LK010"]
+    assert "registry" in result.findings[0].message
+
+
+def test_lk010_fires_on_aliased_module_construction(tmp_path):
+    result = lint_snippet(
+        tmp_path, "repro/engine/batch.py", LK010_MODULE_ALIAS_CONSTRUCTION,
+        rule="telemetry-discipline",
+    )
+    assert rule_ids(result) == ["LK010"]
+
+
+def test_lk010_fires_on_span_outside_with(tmp_path):
+    result = lint_snippet(
+        tmp_path, "repro/semantics/evaluation.py", LK010_BARE_SPAN_CALL,
+        rule="telemetry-discipline",
+    )
+    assert rule_ids(result) == ["LK010"]
+    assert "with" in result.findings[0].message
+
+
+def test_lk010_quiet_on_registry_and_with_span(tmp_path):
+    result = lint_snippet(
+        tmp_path, "repro/engine/planner.py", LK010_REGISTRY_OK,
+        rule="telemetry-discipline",
+    )
+    assert result.findings == []
+
+
+def test_lk010_ignores_collections_counter(tmp_path):
+    result = lint_snippet(
+        tmp_path, "repro/engine/analyze.py", LK010_COLLECTIONS_COUNTER_OK,
+        rule="telemetry-discipline",
+    )
+    assert result.findings == []
+
+
+def test_lk010_exempts_the_telemetry_module_itself(tmp_path):
+    result = lint_snippet(
+        tmp_path, "repro/engine/telemetry.py", LK010_DIRECT_COUNTER,
+        rule="telemetry-discipline",
     )
     assert result.findings == []
 

@@ -125,6 +125,52 @@ class TestCheckpoint:
         for _ in range(CHECK_INTERVAL - 2):
             ctx.checkpoint("t.site")  # no real check until a full interval
 
+    def test_probes_stack_and_all_fire(self):
+        ctx = ExecutionContext()
+        first, second = [], []
+        ctx.install_probe(first.append)
+        ctx.install_probe(second.append)
+        ctx.checkpoint("t.site")
+        assert first == ["t.site"]
+        assert second == ["t.site"]
+
+    def test_remove_probe_by_handle_pops_only_that_probe(self):
+        # Regression: installing a second probe used to clobber the
+        # first, and remove_probe() dropped whichever was installed
+        # last.  Handles make install/remove properly nest.
+        ctx = ExecutionContext(ResourceBudget(step_cap=1))
+        first, second = [], []
+        handle_first = ctx.install_probe(first.append)
+        handle_second = ctx.install_probe(second.append)
+        ctx.remove_probe(handle_second)
+        ctx.checkpoint("t.site")  # tick 1 == cap: fine
+        assert first == ["t.site"]
+        assert second == []
+        # The surviving probe still forces per-hit real checks.
+        with pytest.raises(ResourceExhausted):
+            ctx.checkpoint("t.site")
+        ctx.remove_probe(handle_first)
+        assert first == ["t.site", "t.site"]
+
+    def test_remove_probe_without_handle_clears_all(self):
+        ctx = ExecutionContext(ResourceBudget(step_cap=1))
+        seen = []
+        ctx.install_probe(seen.append)
+        ctx.install_probe(seen.append)
+        ctx.remove_probe()
+        for _ in range(CHECK_INTERVAL - 2):
+            ctx.checkpoint("t.site")  # amortization restored
+        assert seen == []
+
+    def test_remove_probe_with_stale_handle_is_a_noop(self):
+        ctx = ExecutionContext()
+        seen = []
+        handle = ctx.install_probe(seen.append)
+        ctx.remove_probe(handle)
+        ctx.remove_probe(handle)  # second removal of same handle: no-op
+        ctx.checkpoint("t.site")
+        assert seen == []
+
     def test_check_rows_is_direct_not_amortized(self):
         ctx = ExecutionContext(ResourceBudget(row_cap=10))
         ctx.check_rows(10, "t.join")
